@@ -1,0 +1,140 @@
+#include "bench_util.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+
+#include "common/timer.h"
+
+namespace fim::bench {
+
+const SweepPoint* SweepResult::Find(Algorithm algorithm,
+                                    Support min_support) const {
+  for (const auto& p : points) {
+    if (p.algorithm == algorithm && p.min_support == min_support) return &p;
+  }
+  return nullptr;
+}
+
+SweepResult RunSweep(const TransactionDatabase& db,
+                     const SweepOptions& options) {
+  SweepResult result;
+  for (Algorithm algorithm : options.algorithms) {
+    bool over_budget = false;
+    for (Support smin : options.supports) {
+      SweepPoint point;
+      point.algorithm = algorithm;
+      point.min_support = smin;
+      if (!over_budget) {
+        MinerOptions miner;
+        miner.algorithm = algorithm;
+        miner.min_support = smin;
+        std::size_t count = 0;
+        WallTimer timer;
+        Status status = MineClosed(
+            db, miner,
+            [&count](std::span<const ItemId>, Support) { ++count; });
+        point.seconds = timer.Seconds();
+        if (status.ok()) {
+          point.ran = true;
+          point.num_sets = count;
+          std::fprintf(stderr, "  [%s smin=%u: %.3fs, %zu sets]\n",
+                       AlgorithmName(algorithm), smin, point.seconds, count);
+        } else {
+          std::fprintf(stderr, "  [%s smin=%u: ERROR %s]\n",
+                       AlgorithmName(algorithm), smin,
+                       status.ToString().c_str());
+        }
+        if (point.seconds > options.point_time_limit_seconds) {
+          over_budget = true;
+        }
+      }
+      result.points.push_back(point);
+    }
+  }
+
+  // Cross-check: every algorithm that ran a support must agree on the
+  // number of closed sets.
+  std::map<Support, std::set<std::size_t>> counts;
+  for (const auto& p : result.points) {
+    if (p.ran) counts[p.min_support].insert(p.num_sets);
+  }
+  for (const auto& [smin, distinct] : counts) {
+    if (distinct.size() > 1) {
+      std::fprintf(stderr,
+                   "WARNING: algorithms disagree on closed-set count at "
+                   "smin=%u!\n",
+                   smin);
+    }
+  }
+  return result;
+}
+
+void PrintSweepTable(const std::string& title, const SweepOptions& options,
+                     const SweepResult& result) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%8s %12s", "smin", "closed-sets");
+  for (Algorithm a : options.algorithms) {
+    std::printf(" %18s", AlgorithmName(a));
+  }
+  std::printf("\n");
+  for (Support smin : options.supports) {
+    std::size_t sets = 0;
+    for (Algorithm a : options.algorithms) {
+      const SweepPoint* p = result.Find(a, smin);
+      if (p != nullptr && p->ran) {
+        sets = p->num_sets;
+        break;
+      }
+    }
+    std::printf("%8u %12zu", smin, sets);
+    for (Algorithm a : options.algorithms) {
+      const SweepPoint* p = result.Find(a, smin);
+      if (p == nullptr || !p->ran) {
+        std::printf(" %18s", "DNF");
+      } else {
+        const double log10s =
+            p->seconds > 0 ? std::log10(p->seconds) : -4.0;
+        char cell[32];
+        std::snprintf(cell, sizeof(cell), "%9.3fs (%+.1f)", p->seconds,
+                      log10s);
+        std::printf(" %18s", cell);
+      }
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+void WriteCsv(const std::string& path, const SweepResult& result) {
+  std::ofstream out(path, std::ios::trunc);
+  out << "algorithm,min_support,seconds,num_sets,ran\n";
+  for (const auto& p : result.points) {
+    out << AlgorithmName(p.algorithm) << ',' << p.min_support << ','
+        << p.seconds << ',' << p.num_sets << ',' << (p.ran ? 1 : 0) << '\n';
+  }
+}
+
+BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--scale=", 8) == 0) {
+      args.scale = std::atof(arg + 8);
+    } else if (std::strncmp(arg, "--limit=", 8) == 0) {
+      args.limit = std::atof(arg + 8);
+    } else if (std::strncmp(arg, "--csv=", 6) == 0) {
+      args.csv_path = arg + 6;
+    } else if (std::strcmp(arg, "--full") == 0) {
+      args.scale = 1.0;
+    } else {
+      std::fprintf(stderr, "ignoring unknown argument '%s'\n", arg);
+    }
+  }
+  return args;
+}
+
+}  // namespace fim::bench

@@ -1,0 +1,66 @@
+#ifndef FIM_BENCH_BENCH_UTIL_H_
+#define FIM_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "api/miner.h"
+#include "data/transaction_database.h"
+
+namespace fim::bench {
+
+/// One figure reproduction = a support sweep over a set of algorithms.
+struct SweepOptions {
+  std::vector<Algorithm> algorithms;
+  std::vector<Support> supports;  // processed as given; descending = paper order
+  /// Once an algorithm exceeds this budget on a point, the remaining
+  /// (lower) supports are skipped for it and rendered as DNF — the same
+  /// effect as the truncated curves in the paper's figures.
+  double point_time_limit_seconds = 60.0;
+};
+
+struct SweepPoint {
+  Algorithm algorithm = Algorithm::kIsta;
+  Support min_support = 0;
+  double seconds = 0.0;
+  std::size_t num_sets = 0;
+  bool ran = false;  // false: skipped after the algorithm hit the limit
+};
+
+struct SweepResult {
+  std::vector<SweepPoint> points;
+
+  const SweepPoint* Find(Algorithm algorithm, Support min_support) const;
+};
+
+/// Runs every (algorithm, support) cell, timing the full mining call.
+/// Verifies that all algorithms that ran report the same number of closed
+/// sets per support and prints a loud warning otherwise.
+SweepResult RunSweep(const TransactionDatabase& db,
+                     const SweepOptions& options);
+
+/// Paper-figure-style table: one row per support, one column per
+/// algorithm, cells in seconds (log10 in parentheses), "DNF" when
+/// skipped. Also prints the closed-set count per support row.
+void PrintSweepTable(const std::string& title, const SweepOptions& options,
+                     const SweepResult& result);
+
+/// CSV with columns algorithm,min_support,seconds,num_sets,ran.
+void WriteCsv(const std::string& path, const SweepResult& result);
+
+/// Command-line arguments shared by the figure benches:
+///   --scale=<f>   generator scale factor (default per bench)
+///   --limit=<s>   per-point time limit in seconds
+///   --csv=<path>  also write the sweep as CSV
+///   --full        shorthand for --scale=1.0
+struct BenchArgs {
+  double scale = -1.0;  // < 0: keep the bench's default
+  double limit = -1.0;
+  std::string csv_path;
+};
+
+BenchArgs ParseBenchArgs(int argc, char** argv);
+
+}  // namespace fim::bench
+
+#endif  // FIM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,88 @@
+// Gene-expression analysis scenario (paper §4): generate a synthetic
+// expression compendium, discretize it at the paper's +/-0.2 log-ratio
+// thresholds, and mine closed frequent item sets in both orientations —
+// conditions as transactions (relationships between genes) and genes as
+// transactions (relationships between conditions).
+//
+//   $ ./examples/gene_expression
+
+#include <cstdio>
+
+#include "api/miner.h"
+#include "common/timer.h"
+#include "data/expression.h"
+#include "data/stats.h"
+
+namespace {
+
+using namespace fim;
+
+void MineAndSummarize(const TransactionDatabase& db, Support min_support,
+                      const char* what) {
+  std::printf("\n%s\n  data: %s\n", what,
+              StatsToString(ComputeStats(db)).c_str());
+  MinerOptions options;
+  options.algorithm = Algorithm::kIsta;
+  options.min_support = min_support;
+  WallTimer timer;
+  auto result = MineClosedCollect(db, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "mining failed: %s\n",
+                 result.status().ToString().c_str());
+    return;
+  }
+  const auto& sets = result.value();
+  std::printf("  %zu closed sets with support >= %u in %.3fs\n", sets.size(),
+              min_support, timer.Seconds());
+
+  // Show the largest co-regulated groups.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < sets.size(); ++i) {
+    if (sets[i].items.size() > sets[best].items.size()) best = i;
+  }
+  if (!sets.empty()) {
+    std::printf("  largest set: %zu items, support %u\n",
+                sets[best].items.size(), sets[best].support);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace fim;
+
+  ExpressionConfig config;
+  config.num_genes = 800;
+  config.num_conditions = 120;
+  config.num_modules = 12;
+  config.genes_per_module = 60;
+  config.conditions_per_module = 18;
+  config.module_signal = 0.6;
+  config.noise_stddev = 0.1;
+  config.seed = 7;
+  std::printf("generating %zu genes x %zu conditions with %zu planted "
+              "co-expression modules...\n",
+              config.num_genes, config.num_conditions, config.num_modules);
+  const ExpressionMatrix matrix = GenerateExpression(config);
+
+  // Items are over-/under-expression events (2 per gene or condition),
+  // discretized at the paper's +/-0.2 thresholds.
+  const TransactionDatabase by_condition = Discretize(
+      matrix, ExpressionOrientation::kConditionsAsTransactions);
+  MineAndSummarize(by_condition, 10,
+                   "conditions as transactions (many items, few "
+                   "transactions — the regime where intersection wins):");
+
+  const TransactionDatabase by_gene =
+      Discretize(matrix, ExpressionOrientation::kGenesAsTransactions);
+  MineAndSummarize(by_gene, 40,
+                   "genes as transactions (few items, many transactions — "
+                   "the classic enumeration regime):");
+
+  std::printf(
+      "\nInterpretation: closed sets in the first orientation are maximal "
+      "groups of\nexpression events shared by >= smin conditions, i.e. "
+      "candidate co-regulated\ngene modules; the planted modules of the "
+      "generator appear among the largest.\n");
+  return 0;
+}

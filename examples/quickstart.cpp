@@ -1,0 +1,54 @@
+// Quickstart: build a small transaction database, mine its closed
+// frequent item sets with IsTa, and print them with item names.
+//
+//   $ ./examples/quickstart
+
+#include <cstdio>
+
+#include "api/miner.h"
+#include "data/transaction_database.h"
+
+int main() {
+  using namespace fim;
+
+  // A toy shopping-basket database (the paper's running example, with
+  // product names attached).
+  TransactionDatabase db = TransactionDatabase::FromTransactions({
+      {0, 1, 2},     // apples, bread, cheese
+      {0, 3, 4},     // apples, dates, eggs
+      {1, 2, 3},     // bread, cheese, dates
+      {0, 1, 2, 3},  // apples, bread, cheese, dates
+      {1, 2},        // bread, cheese
+      {0, 1, 3},     // apples, bread, dates
+      {3, 4},        // dates, eggs
+      {2, 3, 4},     // cheese, dates, eggs
+  });
+  Status named = db.SetItemNames({"apples", "bread", "cheese", "dates",
+                                  "eggs"});
+  if (!named.ok()) {
+    std::fprintf(stderr, "%s\n", named.ToString().c_str());
+    return 1;
+  }
+
+  // Mine all closed item sets bought together at least 3 times.
+  MinerOptions options;
+  options.algorithm = Algorithm::kIsta;  // the paper's contribution
+  options.min_support = 3;
+
+  std::printf("closed frequent item sets (min support %u):\n",
+              options.min_support);
+  Status status = MineClosed(
+      db, options, [&db](std::span<const ItemId> items, Support support) {
+        std::printf("  {");
+        for (std::size_t i = 0; i < items.size(); ++i) {
+          std::printf("%s%s", i > 0 ? ", " : "",
+                      db.ItemName(items[i]).c_str());
+        }
+        std::printf("}  support %u\n", support);
+      });
+  if (!status.ok()) {
+    std::fprintf(stderr, "mining failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

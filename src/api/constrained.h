@@ -1,0 +1,46 @@
+#ifndef FIM_API_CONSTRAINED_H_
+#define FIM_API_CONSTRAINED_H_
+
+#include <vector>
+
+#include "api/miner.h"
+
+namespace fim {
+
+/// Item constraints for closed-set mining (in the spirit of
+/// Mielikäinen's "intersecting data to closed sets with constraints").
+struct ItemConstraints {
+  /// Every reported set must contain all of these items.
+  std::vector<ItemId> must_contain;
+
+  /// No reported set may contain any of these items. Note the semantics:
+  /// the result is the closed sets of the database with the forbidden
+  /// items REMOVED (the standard constrained-closure semantics) — a set
+  /// that is closed in the original database only thanks to a forbidden
+  /// item is reported in its reduced, re-closed form.
+  std::vector<ItemId> must_not_contain;
+};
+
+/// Mines the closed frequent item sets satisfying `constraints`, using
+/// any of the library's algorithms:
+///  - must_not_contain is handled by deleting the items up front;
+///  - must_contain is handled by conditioning: mine the transactions
+///    containing all required items (with those items removed), then add
+///    the required items back to every result — supports carry over
+///    because cover(I ∪ R) within the conditional database equals
+///    cover(I ∪ R) in the original one.
+/// Reported sets include the required items. Returns InvalidArgument if
+/// the two constraint lists overlap.
+Status MineClosedConstrained(const TransactionDatabase& db,
+                             const MinerOptions& options,
+                             const ItemConstraints& constraints,
+                             const ClosedSetCallback& callback);
+
+/// Convenience wrapper collecting the output in canonical order.
+Result<std::vector<ClosedItemset>> MineClosedConstrainedCollect(
+    const TransactionDatabase& db, const MinerOptions& options,
+    const ItemConstraints& constraints);
+
+}  // namespace fim
+
+#endif  // FIM_API_CONSTRAINED_H_

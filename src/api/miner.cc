@@ -1,0 +1,127 @@
+#include "api/miner.h"
+
+#include "carpenter/carpenter.h"
+#include "carpenter/cobbler.h"
+#include "cumulative/flat_cumulative.h"
+#include "enumeration/charm.h"
+#include "enumeration/fpclose.h"
+#include "enumeration/transposed.h"
+#include "enumeration/lcm.h"
+#include "ista/ista.h"
+
+namespace fim {
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kIsta:
+      return "ista";
+    case Algorithm::kCarpenterLists:
+      return "carpenter-lists";
+    case Algorithm::kCarpenterTable:
+      return "carpenter-table";
+    case Algorithm::kFlatCumulative:
+      return "flat-cumulative";
+    case Algorithm::kFpClose:
+      return "fpclose";
+    case Algorithm::kLcm:
+      return "lcm";
+    case Algorithm::kCharm:
+      return "charm";
+    case Algorithm::kTransposed:
+      return "transposed";
+    case Algorithm::kCobbler:
+      return "cobbler";
+  }
+  return "unknown";
+}
+
+Result<Algorithm> ParseAlgorithm(std::string_view name) {
+  for (Algorithm algorithm : AllAlgorithms()) {
+    if (name == AlgorithmName(algorithm)) return algorithm;
+  }
+  return Status::NotFound("unknown algorithm '" + std::string(name) + "'");
+}
+
+const std::vector<Algorithm>& AllAlgorithms() {
+  static const std::vector<Algorithm>& all = *new std::vector<Algorithm>{
+      Algorithm::kIsta,          Algorithm::kCarpenterLists,
+      Algorithm::kCarpenterTable, Algorithm::kFlatCumulative,
+      Algorithm::kFpClose,       Algorithm::kLcm,
+      Algorithm::kCharm,         Algorithm::kTransposed,
+      Algorithm::kCobbler,
+  };
+  return all;
+}
+
+Status MineClosed(const TransactionDatabase& db, const MinerOptions& options,
+                  const ClosedSetCallback& callback) {
+  switch (options.algorithm) {
+    case Algorithm::kIsta: {
+      IstaOptions ista;
+      ista.min_support = options.min_support;
+      ista.item_order = options.item_order;
+      ista.transaction_order = options.transaction_order;
+      ista.item_elimination = options.item_elimination;
+      return MineClosedIsta(db, ista, callback);
+    }
+    case Algorithm::kCarpenterLists:
+    case Algorithm::kCarpenterTable: {
+      CarpenterOptions carpenter;
+      carpenter.min_support = options.min_support;
+      carpenter.item_order = options.item_order;
+      carpenter.transaction_order = options.transaction_order;
+      carpenter.item_elimination = options.item_elimination;
+      if (options.algorithm == Algorithm::kCarpenterLists) {
+        return MineClosedCarpenterLists(db, carpenter, callback);
+      }
+      return MineClosedCarpenterTable(db, carpenter, callback);
+    }
+    case Algorithm::kFlatCumulative: {
+      FlatCumulativeOptions flat;
+      flat.min_support = options.min_support;
+      flat.item_elimination = options.item_elimination;
+      flat.transaction_order = options.transaction_order;
+      return MineClosedFlatCumulative(db, flat, callback);
+    }
+    case Algorithm::kFpClose: {
+      FpCloseOptions fpclose;
+      fpclose.min_support = options.min_support;
+      return MineClosedFpClose(db, fpclose, callback);
+    }
+    case Algorithm::kLcm: {
+      LcmOptions lcm;
+      lcm.min_support = options.min_support;
+      return MineClosedLcm(db, lcm, callback);
+    }
+    case Algorithm::kCharm: {
+      CharmOptions charm;
+      charm.min_support = options.min_support;
+      return MineClosedCharm(db, charm, callback);
+    }
+    case Algorithm::kTransposed: {
+      TransposedOptions transposed;
+      transposed.min_support = options.min_support;
+      return MineClosedTransposed(db, transposed, callback);
+    }
+    case Algorithm::kCobbler: {
+      CobblerOptions cobbler;
+      cobbler.min_support = options.min_support;
+      cobbler.item_order = options.item_order;
+      cobbler.transaction_order = options.transaction_order;
+      cobbler.item_elimination = options.item_elimination;
+      return MineClosedCobbler(db, cobbler, callback);
+    }
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+Result<std::vector<ClosedItemset>> MineClosedCollect(
+    const TransactionDatabase& db, const MinerOptions& options) {
+  ClosedSetCollector collector;
+  Status status = MineClosed(db, options, collector.AsCallback());
+  if (!status.ok()) return status;
+  collector.SortCanonical();
+  return collector.TakeSets();
+}
+
+}  // namespace fim

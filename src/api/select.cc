@@ -1,0 +1,18 @@
+#include "api/select.h"
+
+namespace fim {
+
+Algorithm ChooseAlgorithm(const DatabaseStats& stats,
+                          double items_per_transaction_threshold) {
+  if (stats.num_transactions == 0) return Algorithm::kIsta;
+  const double ratio = static_cast<double>(stats.num_used_items) /
+                       static_cast<double>(stats.num_transactions);
+  return ratio >= items_per_transaction_threshold ? Algorithm::kIsta
+                                                  : Algorithm::kLcm;
+}
+
+Algorithm ChooseAlgorithm(const TransactionDatabase& db) {
+  return ChooseAlgorithm(ComputeStats(db));
+}
+
+}  // namespace fim

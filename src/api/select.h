@@ -1,0 +1,23 @@
+#ifndef FIM_API_SELECT_H_
+#define FIM_API_SELECT_H_
+
+#include "api/miner.h"
+#include "data/stats.h"
+
+namespace fim {
+
+/// Picks a mining algorithm from the shape of the data, following the
+/// paper's conclusions (§5): intersection miners (IsTa) win when there
+/// are (very) many items and few transactions; enumeration miners (LCM)
+/// win in the classic many-transactions regime. The crossover is
+/// heuristic — `items_per_transaction_threshold` is the used-items to
+/// transactions ratio above which the intersection side is chosen.
+Algorithm ChooseAlgorithm(const DatabaseStats& stats,
+                          double items_per_transaction_threshold = 2.0);
+
+/// Convenience: compute stats and choose.
+Algorithm ChooseAlgorithm(const TransactionDatabase& db);
+
+}  // namespace fim
+
+#endif  // FIM_API_SELECT_H_

@@ -1,0 +1,47 @@
+#include "api/topk.h"
+
+#include <algorithm>
+
+namespace fim {
+
+Result<std::vector<ClosedItemset>> MineTopKClosed(
+    const TransactionDatabase& db, std::size_t k,
+    const MinerOptions& base_options) {
+  if (k == 0) return std::vector<ClosedItemset>{};
+  if (db.NumTransactions() == 0) return std::vector<ClosedItemset>{};
+
+  // No closed set can beat the best single-item support.
+  Support threshold = 0;
+  for (Support f : db.ItemFrequencies()) threshold = std::max(threshold, f);
+  if (threshold == 0) return std::vector<ClosedItemset>{};
+
+  MinerOptions options = base_options;
+  for (;;) {
+    options.min_support = threshold;
+    auto mined = MineClosedCollect(db, options);
+    if (!mined.ok()) return mined.status();
+    std::vector<ClosedItemset> sets = std::move(mined).value();
+    if (sets.size() >= k || threshold == 1) {
+      std::stable_sort(sets.begin(), sets.end(),
+                       [](const ClosedItemset& a, const ClosedItemset& b) {
+                         return a.support > b.support;
+                       });
+      if (sets.size() > k) {
+        // Keep everything tied with the k-th best support.
+        const Support cutoff = sets[k - 1].support;
+        auto end = std::find_if(sets.begin() + static_cast<long>(k),
+                                sets.end(),
+                                [cutoff](const ClosedItemset& s) {
+                                  return s.support < cutoff;
+                                });
+        sets.erase(end, sets.end());
+      }
+      return sets;
+    }
+    // Geometric descent; the last full mine at threshold 1 is exact.
+    threshold = threshold > 1 ? std::max<Support>(1, threshold / 2)
+                              : 1;
+  }
+}
+
+}  // namespace fim

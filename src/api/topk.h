@@ -1,0 +1,22 @@
+#ifndef FIM_API_TOPK_H_
+#define FIM_API_TOPK_H_
+
+#include <vector>
+
+#include "api/miner.h"
+
+namespace fim {
+
+/// Mines the k closed item sets of highest support (ties broken towards
+/// including more sets: every set whose support equals the k-th best is
+/// included, so the result may be slightly larger than k). No support
+/// threshold needs to be guessed: the miner starts at the maximum item
+/// frequency and geometrically lowers the threshold until k sets exist.
+/// Output is sorted by descending support, then canonically.
+Result<std::vector<ClosedItemset>> MineTopKClosed(
+    const TransactionDatabase& db, std::size_t k,
+    const MinerOptions& base_options = MinerOptions{});
+
+}  // namespace fim
+
+#endif  // FIM_API_TOPK_H_

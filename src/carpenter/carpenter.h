@@ -1,0 +1,62 @@
+#ifndef FIM_CARPENTER_CARPENTER_H_
+#define FIM_CARPENTER_CARPENTER_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "data/itemset.h"
+#include "data/recode.h"
+#include "data/transaction_database.h"
+
+namespace fim {
+
+/// Options shared by both Carpenter variants (paper §3.1).
+struct CarpenterOptions {
+  /// Absolute minimum support; must be >= 1.
+  Support min_support = 1;
+
+  /// Item code assignment (affects only repository shape / speed).
+  ItemOrder item_order = ItemOrder::kFrequencyAscending;
+
+  /// Order in which transaction indices are enumerated.
+  TransactionOrder transaction_order = TransactionOrder::kSizeAscending;
+
+  /// The paper's §3.1.1 improvement: drop an item i from an intersection
+  /// as soon as |K| plus the number of remaining transactions containing
+  /// i cannot reach the minimum support. Never changes the output.
+  bool item_elimination = true;
+};
+
+/// Execution statistics (optional output).
+struct CarpenterStats {
+  std::size_t nodes_visited = 0;   // transaction-set enumeration nodes
+  std::size_t repo_sets = 0;       // intersections stored for dup pruning
+  std::size_t repo_hits = 0;       // branches pruned via the repository
+};
+
+/// Carpenter with the vertical tid-list representation (paper §3.1.1):
+/// per item an array of transaction indices plus per-branch cursors.
+/// Reports every closed frequent item set exactly once (ascending
+/// original ids); the empty set is never reported.
+Status MineClosedCarpenterLists(const TransactionDatabase& db,
+                                const CarpenterOptions& options,
+                                const ClosedSetCallback& callback,
+                                CarpenterStats* stats = nullptr);
+
+/// Carpenter with the table-/matrix-based representation (paper §3.1.2,
+/// Table 1): an n x |B| matrix whose entry (k, i) is 0 when item i is not
+/// in transaction k and otherwise the number of transactions from k
+/// onward that contain i. Same output contract as the list variant.
+Status MineClosedCarpenterTable(const TransactionDatabase& db,
+                                const CarpenterOptions& options,
+                                const ClosedSetCallback& callback,
+                                CarpenterStats* stats = nullptr);
+
+/// Builds the §3.1.2 suffix-count matrix in row-major layout (row k at
+/// [k * num_items, (k+1) * num_items)). Exposed for tests (Table 1) and
+/// benches.
+std::vector<Support> BuildCarpenterMatrix(const TransactionDatabase& db);
+
+}  // namespace fim
+
+#endif  // FIM_CARPENTER_CARPENTER_H_

@@ -1,0 +1,149 @@
+#include <algorithm>
+#include <vector>
+
+#include "carpenter/carpenter.h"
+#include "carpenter/repository.h"
+
+namespace fim {
+
+namespace {
+
+// One item of the current intersection together with its cursor into the
+// item's tid list (the cursor points at the first tid >= the enumeration
+// position, the "next unprocessed transaction index" of §3.1.1).
+struct Entry {
+  ItemId item;
+  uint32_t pos;
+};
+
+class ListsMiner {
+ public:
+  ListsMiner(const TransactionDatabase& coded, const CarpenterOptions& options,
+             const ClosedSetCallback& callback, CarpenterStats* stats)
+      : tidlists_(coded.BuildVertical()),
+        n_(static_cast<Tid>(coded.NumTransactions())),
+        min_support_(options.min_support),
+        item_elimination_(options.item_elimination),
+        callback_(callback),
+        repo_(coded.NumItems()),
+        stats_(stats) {}
+
+  void Run() {
+    // The root subproblem: I = item base, no transactions chosen yet.
+    std::vector<Entry> initial;
+    initial.reserve(tidlists_.size());
+    for (std::size_t i = 0; i < tidlists_.size(); ++i) {
+      if (!tidlists_[i].empty()) {
+        initial.push_back(Entry{static_cast<ItemId>(i), 0});
+      }
+    }
+    if (initial.empty()) return;
+    Mine(initial, 0, 0);
+    if (stats_ != nullptr) stats_->repo_sets = repo_.size();
+  }
+
+ private:
+  // Processes the subproblem (I = `entries`, |chosen| = `count`, next
+  // index `l`). Sweeps the remaining transactions in order; a transaction
+  // containing all of I is absorbed into the support (the perfect
+  // extension analog), any other non-empty intersection opens a branch
+  // guarded by the duplicate repository.
+  void Mine(const std::vector<Entry>& entries, Support count, Tid l) {
+    if (stats_ != nullptr) ++stats_->nodes_visited;
+    std::vector<Entry> sweep = entries;
+    Support supp = count;
+    std::vector<Entry> members;
+    std::vector<ItemId> key;
+    (void)l;  // cursors already point at the first tid >= l
+    for (;;) {
+      // Next transaction containing at least one item of I.
+      Tid j = n_;
+      for (const Entry& e : sweep) {
+        const auto& tids = tidlists_[e.item];
+        if (e.pos < tids.size()) j = std::min(j, tids[e.pos]);
+      }
+      if (j >= n_) break;
+
+      members.clear();
+      for (Entry& e : sweep) {
+        const auto& tids = tidlists_[e.item];
+        if (e.pos < tids.size() && tids[e.pos] == j) {
+          members.push_back(Entry{e.item, e.pos + 1});
+          ++e.pos;
+        }
+      }
+      if (members.size() == sweep.size()) {
+        // t_j contains I completely: absorb it into the support; opening
+        // a branch could only rediscover I (paper: skip the second
+        // subproblem when the intersection is unchanged).
+        ++supp;
+        continue;
+      }
+
+      // Branch: include j. Item elimination (§3.1.1): an item that does
+      // not occur often enough in the remaining transactions can never be
+      // part of a frequent set found below this branch.
+      std::vector<Entry> child;
+      child.reserve(members.size());
+      for (const Entry& e : members) {
+        if (item_elimination_) {
+          const auto remaining =
+              static_cast<Support>(tidlists_[e.item].size() - e.pos);
+          if (supp + 1 + remaining < min_support_) continue;
+        }
+        child.push_back(e);
+      }
+      if (child.empty()) continue;
+      key.clear();
+      for (const Entry& e : child) key.push_back(e.item);
+      if (repo_.InsertIfAbsent(key)) {
+        Mine(child, supp + 1, j + 1);
+      } else if (stats_ != nullptr) {
+        ++stats_->repo_hits;
+      }
+    }
+
+    if (supp >= min_support_) {
+      key.clear();
+      for (const Entry& e : sweep) key.push_back(e.item);
+      callback_(key, supp);
+    }
+  }
+
+  std::vector<std::vector<Tid>> tidlists_;
+  const Tid n_;
+  const Support min_support_;
+  const bool item_elimination_;
+  const ClosedSetCallback& callback_;
+  ClosedSetRepository repo_;
+  CarpenterStats* stats_;
+};
+
+}  // namespace
+
+Status MineClosedCarpenterLists(const TransactionDatabase& db,
+                                const CarpenterOptions& options,
+                                const ClosedSetCallback& callback,
+                                CarpenterStats* stats) {
+  if (options.min_support == 0) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  if (stats != nullptr) *stats = CarpenterStats{};
+  if (db.NumTransactions() == 0) return Status::OK();
+
+  const Support min_item_support =
+      options.item_elimination ? options.min_support : 1;
+  const Recoding recoding =
+      ComputeRecoding(db, options.item_order, min_item_support);
+  const TransactionDatabase coded =
+      ApplyRecoding(db, recoding, options.transaction_order);
+  if (coded.NumTransactions() == 0) return Status::OK();
+
+  const ClosedSetCallback decoded =
+      MakeDecodingCallback(recoding, callback);
+  ListsMiner miner(coded, options, decoded, stats);
+  miner.Run();
+  return Status::OK();
+}
+
+}  // namespace fim

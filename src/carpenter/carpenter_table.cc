@@ -1,0 +1,131 @@
+#include <vector>
+
+#include "carpenter/carpenter.h"
+#include "carpenter/repository.h"
+
+namespace fim {
+
+std::vector<Support> BuildCarpenterMatrix(const TransactionDatabase& db) {
+  const std::size_t n = db.NumTransactions();
+  const std::size_t m = db.NumItems();
+  std::vector<Support> matrix(n * m, 0);
+  std::vector<Support> running(m, 0);
+  for (std::size_t k = n; k > 0; --k) {
+    const std::size_t row = k - 1;
+    for (ItemId i : db.transaction(row)) {
+      ++running[i];
+      matrix[row * m + i] = running[i];
+    }
+  }
+  return matrix;
+}
+
+namespace {
+
+class TableMiner {
+ public:
+  TableMiner(const TransactionDatabase& coded, const CarpenterOptions& options,
+             const ClosedSetCallback& callback, CarpenterStats* stats)
+      : matrix_(BuildCarpenterMatrix(coded)),
+        n_(static_cast<Tid>(coded.NumTransactions())),
+        num_items_(coded.NumItems()),
+        min_support_(options.min_support),
+        item_elimination_(options.item_elimination),
+        callback_(callback),
+        repo_(coded.NumItems()),
+        stats_(stats) {}
+
+  void Run() {
+    std::vector<ItemId> initial;
+    initial.reserve(num_items_);
+    // Row 0 of the matrix is non-zero exactly for items of t_0; the item
+    // base of the coded database contains only items occurring somewhere,
+    // so take all of them.
+    for (std::size_t i = 0; i < num_items_; ++i) {
+      initial.push_back(static_cast<ItemId>(i));
+    }
+    if (initial.empty() || n_ == 0) return;
+    Mine(initial, 0, 0);
+    if (stats_ != nullptr) stats_->repo_sets = repo_.size();
+  }
+
+ private:
+  const Support* Row(Tid j) const { return matrix_.data() + j * num_items_; }
+
+  // Same enumeration as the list-based variant, but the intersection with
+  // t_j is computed by indexing the matrix row j with the items of the
+  // current set (paper §3.1.2) — no cursors or tid-list traversal, and the
+  // per-branch state is just the item list.
+  void Mine(const std::vector<ItemId>& items, Support count, Tid l) {
+    if (stats_ != nullptr) ++stats_->nodes_visited;
+    Support supp = count;
+    std::vector<ItemId> members;
+    std::vector<ItemId> child;
+    for (Tid j = l; j < n_; ++j) {
+      const Support* row = Row(j);
+      members.clear();
+      for (ItemId i : items) {
+        if (row[i] != 0) members.push_back(i);
+      }
+      if (members.empty()) continue;
+      if (members.size() == items.size()) {
+        ++supp;  // t_j contains I: absorb (perfect extension analog)
+        continue;
+      }
+      child.clear();
+      for (ItemId i : members) {
+        // row[i] counts occurrences of i from transaction j onward,
+        // including j itself, so row[i] - 1 occurrences remain below.
+        if (item_elimination_ && supp + 1 + (row[i] - 1) < min_support_) {
+          continue;
+        }
+        child.push_back(i);
+      }
+      if (child.empty()) continue;
+      if (repo_.InsertIfAbsent(child)) {
+        Mine(child, supp + 1, j + 1);
+      } else if (stats_ != nullptr) {
+        ++stats_->repo_hits;
+      }
+    }
+    if (supp >= min_support_) callback_(items, supp);
+  }
+
+  std::vector<Support> matrix_;
+  const Tid n_;
+  const std::size_t num_items_;
+  const Support min_support_;
+  const bool item_elimination_;
+  const ClosedSetCallback& callback_;
+  ClosedSetRepository repo_;
+  CarpenterStats* stats_;
+};
+
+}  // namespace
+
+Status MineClosedCarpenterTable(const TransactionDatabase& db,
+                                const CarpenterOptions& options,
+                                const ClosedSetCallback& callback,
+                                CarpenterStats* stats) {
+  if (options.min_support == 0) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  if (stats != nullptr) *stats = CarpenterStats{};
+  if (db.NumTransactions() == 0) return Status::OK();
+
+  const Support min_item_support =
+      options.item_elimination ? options.min_support : 1;
+  const Recoding recoding =
+      ComputeRecoding(db, options.item_order, min_item_support);
+  const TransactionDatabase coded =
+      ApplyRecoding(db, recoding, options.transaction_order);
+  if (coded.NumTransactions() == 0) return Status::OK();
+
+  const ClosedSetCallback decoded =
+      MakeDecodingCallback(recoding, callback);
+  TableMiner miner(coded, options, decoded, stats);
+  miner.Run();
+  return Status::OK();
+}
+
+}  // namespace fim

@@ -1,0 +1,224 @@
+#include "carpenter/cobbler.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "carpenter/repository.h"
+#include "enumeration/lcm.h"
+
+namespace fim {
+
+namespace {
+
+// Item of the current intersection with its cursor into the item's tid
+// list (same representation as the list-based Carpenter).
+struct Entry {
+  ItemId item;
+  uint32_t pos;
+};
+
+class CobblerMiner {
+ public:
+  CobblerMiner(const TransactionDatabase& coded,
+               const CobblerOptions& options,
+               const ClosedSetCallback& callback, CarpenterStats* stats)
+      : db_(coded),
+        tidlists_(coded.BuildVertical()),
+        n_(static_cast<Tid>(coded.NumTransactions())),
+        options_(options),
+        callback_(callback),
+        repo_(coded.NumItems()),
+        stats_(stats) {}
+
+  void Run() {
+    std::vector<Entry> initial;
+    initial.reserve(tidlists_.size());
+    for (std::size_t i = 0; i < tidlists_.size(); ++i) {
+      if (!tidlists_[i].empty()) {
+        initial.push_back(Entry{static_cast<ItemId>(i), 0});
+      }
+    }
+    if (initial.empty()) return;
+    Mine(initial, 0, 0);
+    if (stats_ != nullptr) stats_->repo_sets = repo_.size();
+  }
+
+ private:
+  // Row-enumeration node, identical contract to the list-based
+  // Carpenter: `entries` is the current intersection I (= intersection
+  // of the chosen transactions, which are exactly `chosen_`), `count` =
+  // |chosen_|, cursors point at the first tid >= l.
+  void Mine(const std::vector<Entry>& entries, Support count, Tid l) {
+    if (stats_ != nullptr) ++stats_->nodes_visited;
+
+    if (ShouldSwitch(entries.size(), l)) {
+      MineConditionalByColumns(entries, count, l);
+      return;
+    }
+
+    std::vector<Entry> sweep = entries;
+    Support supp = count;
+    std::vector<Entry> members;
+    std::vector<ItemId> key;
+    for (;;) {
+      Tid j = n_;
+      for (const Entry& e : sweep) {
+        const auto& tids = tidlists_[e.item];
+        if (e.pos < tids.size()) j = std::min(j, tids[e.pos]);
+      }
+      if (j >= n_) break;
+
+      members.clear();
+      for (Entry& e : sweep) {
+        const auto& tids = tidlists_[e.item];
+        if (e.pos < tids.size() && tids[e.pos] == j) {
+          members.push_back(Entry{e.item, e.pos + 1});
+          ++e.pos;
+        }
+      }
+      if (members.size() == sweep.size()) {
+        ++supp;  // absorbed: t_j contains I
+        chosen_.push_back(j);
+        continue;
+      }
+
+      std::vector<Entry> child;
+      child.reserve(members.size());
+      for (const Entry& e : members) {
+        if (options_.item_elimination) {
+          const auto remaining =
+              static_cast<Support>(tidlists_[e.item].size() - e.pos);
+          if (supp + 1 + remaining < options_.min_support) continue;
+        }
+        child.push_back(e);
+      }
+      if (child.empty()) continue;
+      key.clear();
+      for (const Entry& e : child) key.push_back(e.item);
+      if (repo_.InsertIfAbsent(key)) {
+        chosen_.push_back(j);
+        Mine(child, supp + 1, j + 1);
+        chosen_.pop_back();
+      } else if (stats_ != nullptr) {
+        ++stats_->repo_hits;
+      }
+    }
+
+    if (supp >= options_.min_support) {
+      key.clear();
+      for (const Entry& e : sweep) key.push_back(e.item);
+      callback_(key, supp);
+    }
+    // Undo the absorptions recorded during this sweep.
+    while (!chosen_.empty() && chosen_.back() >= l) chosen_.pop_back();
+  }
+
+  bool ShouldSwitch(std::size_t num_items, Tid l) const {
+    return options_.switch_max_items > 0 &&
+           num_items <= options_.switch_max_items &&
+           static_cast<std::size_t>(n_ - l) >= options_.switch_min_rows;
+  }
+
+  // Column-enumeration takeover of the whole subtree: the closed sets
+  // below this node are exactly the closed sets of the conditional
+  // database {t_j ∩ I : j >= l}, each completed with `count` chosen
+  // transactions — except for sets also contained in an earlier,
+  // not-chosen transaction, which an earlier branch has already produced
+  // with their full support (the backward check below discards those).
+  void MineConditionalByColumns(const std::vector<Entry>& entries,
+                                Support count, Tid l) {
+    std::vector<ItemId> current;
+    current.reserve(entries.size());
+    for (const Entry& e : entries) current.push_back(e.item);
+
+    // Build the conditional rows and count the rows equal to I.
+    TransactionDatabase conditional;
+    conditional.SetNumItems(db_.NumItems());
+    Support rows_equal_to_current = 0;
+    for (Tid j = l; j < n_; ++j) {
+      std::vector<ItemId> row = IntersectSorted(current, db_.transaction(j));
+      if (row.size() == current.size()) ++rows_equal_to_current;
+      if (!row.empty()) conditional.AddTransaction(std::move(row));
+    }
+
+    // I itself: supported by the chosen transactions plus the rows that
+    // equal it (the absorptions plain Carpenter would have made). The
+    // repository invariant already guarantees no earlier unchosen
+    // transaction contains I.
+    const Support current_support = count + rows_equal_to_current;
+    if (current_support >= options_.min_support) {
+      callback_(current, current_support);
+    }
+    repo_.InsertIfAbsent(current);
+
+    if (conditional.NumTransactions() == 0) return;
+    const Support sub_min =
+        options_.min_support > count ? options_.min_support - count : 1;
+
+    LcmOptions lcm;
+    lcm.min_support = sub_min;
+    Status status = MineClosedLcm(
+        conditional, lcm,
+        [this, &current, count, l](std::span<const ItemId> items,
+                                   Support sub_support) {
+          if (items.size() == current.size()) return;  // I handled above
+          // Backward check: an earlier transaction outside the chosen
+          // set that contains the candidate means an earlier branch owns
+          // it (with its complete support).
+          std::vector<ItemId> set(items.begin(), items.end());
+          if (!ContainedInEarlierUnchosen(set, l)) {
+            const Support support = count + sub_support;
+            if (support >= options_.min_support) callback_(set, support);
+          }
+          // Either way the subtree around it is fully covered now.
+          repo_.InsertIfAbsent(set);
+        });
+    (void)status;  // options validated by the caller; cannot fail here
+  }
+
+  bool ContainedInEarlierUnchosen(const std::vector<ItemId>& set,
+                                  Tid l) const {
+    for (Tid j = 0; j < l; ++j) {
+      if (std::binary_search(chosen_.begin(), chosen_.end(), j)) continue;
+      if (IsSubsetSorted(set, db_.transaction(j))) return true;
+    }
+    return false;
+  }
+
+  const TransactionDatabase& db_;
+  std::vector<std::vector<Tid>> tidlists_;
+  const Tid n_;
+  const CobblerOptions& options_;
+  const ClosedSetCallback& callback_;
+  ClosedSetRepository repo_;
+  CarpenterStats* stats_;
+  std::vector<Tid> chosen_;  // ascending: branch + absorbed transactions
+};
+
+}  // namespace
+
+Status MineClosedCobbler(const TransactionDatabase& db,
+                         const CobblerOptions& options,
+                         const ClosedSetCallback& callback,
+                         CarpenterStats* stats) {
+  if (options.min_support == 0) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  if (stats != nullptr) *stats = CarpenterStats{};
+  if (db.NumTransactions() == 0) return Status::OK();
+
+  const Support min_item_support =
+      options.item_elimination ? options.min_support : 1;
+  const Recoding recoding =
+      ComputeRecoding(db, options.item_order, min_item_support);
+  const TransactionDatabase coded =
+      ApplyRecoding(db, recoding, options.transaction_order);
+  if (coded.NumTransactions() == 0) return Status::OK();
+
+  const ClosedSetCallback decoded = MakeDecodingCallback(recoding, callback);
+  CobblerMiner miner(coded, options, decoded, stats);
+  miner.Run();
+  return Status::OK();
+}
+
+}  // namespace fim

@@ -1,0 +1,67 @@
+#include "carpenter/repository.h"
+
+#include <cassert>
+
+namespace fim {
+
+ClosedSetRepository::ClosedSetRepository(std::size_t num_items)
+    : top_(num_items, kNil) {}
+
+uint32_t ClosedSetRepository::NewNode(ItemId item) {
+  nodes_.push_back(Node{item, kNil, kNil, 0});
+  return static_cast<uint32_t>(nodes_.size() - 1);
+}
+
+uint32_t ClosedSetRepository::FindOrCreateChild(uint32_t parent, ItemId item) {
+  uint32_t prev = kNil;
+  uint32_t cur = nodes_[parent].children;
+  while (cur != kNil && nodes_[cur].item > item) {
+    prev = cur;
+    cur = nodes_[cur].sibling;
+  }
+  if (cur != kNil && nodes_[cur].item == item) return cur;
+  uint32_t fresh = NewNode(item);
+  nodes_[fresh].sibling = cur;
+  if (prev == kNil) {
+    nodes_[parent].children = fresh;
+  } else {
+    nodes_[prev].sibling = fresh;
+  }
+  return fresh;
+}
+
+uint32_t ClosedSetRepository::FindChild(uint32_t parent, ItemId item) const {
+  uint32_t cur = nodes_[parent].children;
+  while (cur != kNil && nodes_[cur].item > item) cur = nodes_[cur].sibling;
+  if (cur != kNil && nodes_[cur].item == item) return cur;
+  return kNil;
+}
+
+bool ClosedSetRepository::InsertIfAbsent(std::span<const ItemId> items) {
+  assert(!items.empty());
+  const ItemId first = items.back();  // highest item heads the path
+  uint32_t node = top_[first];
+  if (node == kNil) {
+    node = NewNode(first);
+    top_[first] = node;
+  }
+  for (std::size_t idx = items.size() - 1; idx > 0; --idx) {
+    node = FindOrCreateChild(node, items[idx - 1]);
+  }
+  if (nodes_[node].terminal) return false;
+  nodes_[node].terminal = 1;
+  ++stored_;
+  return true;
+}
+
+bool ClosedSetRepository::Contains(std::span<const ItemId> items) const {
+  if (items.empty()) return false;
+  uint32_t node = top_[items.back()];
+  if (node == kNil) return false;
+  for (std::size_t idx = items.size() - 1; idx > 0 && node != kNil; --idx) {
+    node = FindChild(node, items[idx - 1]);
+  }
+  return node != kNil && nodes_[node].terminal;
+}
+
+}  // namespace fim

@@ -1,0 +1,59 @@
+#ifndef FIM_CARPENTER_REPOSITORY_H_
+#define FIM_CARPENTER_REPOSITORY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/itemset.h"
+
+namespace fim {
+
+/// Repository of already-encountered intersections used by both Carpenter
+/// variants for duplicate pruning (paper §3.1.1). Implemented as a prefix
+/// tree whose top level is a flat array indexed by item — important for
+/// the many-items data Carpenter targets, because the top level is almost
+/// fully populated while deeper levels are sparse sibling lists.
+///
+/// Sets are stored along root paths in descending item order; a terminal
+/// flag marks nodes whose root path is a stored set (so a stored set and
+/// a longer set sharing its prefix do not collide).
+class ClosedSetRepository {
+ public:
+  explicit ClosedSetRepository(std::size_t num_items);
+
+  /// Inserts `items` (sorted ascending, non-empty) unless already present.
+  /// Returns true if the set was newly inserted.
+  bool InsertIfAbsent(std::span<const ItemId> items);
+
+  /// True if `items` is stored. (Mainly for tests.)
+  bool Contains(std::span<const ItemId> items) const;
+
+  /// Number of stored sets.
+  std::size_t size() const { return stored_; }
+
+  /// Number of allocated tree nodes (memory diagnostics).
+  std::size_t NodeCount() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    ItemId item;
+    uint32_t sibling;
+    uint32_t children;
+    uint8_t terminal;
+  };
+
+  static constexpr uint32_t kNil = static_cast<uint32_t>(-1);
+
+  uint32_t NewNode(ItemId item);
+  uint32_t FindOrCreateChild(uint32_t parent, ItemId item);
+  uint32_t FindChild(uint32_t parent, ItemId item) const;
+
+  std::vector<uint32_t> top_;  // flat per-item top level
+  std::vector<Node> nodes_;
+  std::size_t stored_ = 0;
+};
+
+}  // namespace fim
+
+#endif  // FIM_CARPENTER_REPOSITORY_H_

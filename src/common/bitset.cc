@@ -1,0 +1,49 @@
+#include "common/bitset.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace fim {
+
+void DynamicBitset::Clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+std::size_t DynamicBitset::Count() const {
+  std::size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool DynamicBitset::None() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+void DynamicBitset::IntersectWith(const DynamicBitset& other) {
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void DynamicBitset::UnionWith(const DynamicBitset& other) {
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+bool DynamicBitset::IsSubsetOf(const DynamicBitset& other) const {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+void DynamicBitset::AppendSetBits(std::vector<uint32_t>* out) const {
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    uint64_t w = words_[wi];
+    while (w != 0) {
+      int bit = std::countr_zero(w);
+      out->push_back(static_cast<uint32_t>(wi * 64 + bit));
+      w &= w - 1;
+    }
+  }
+}
+
+}  // namespace fim

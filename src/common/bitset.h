@@ -1,0 +1,64 @@
+#ifndef FIM_COMMON_BITSET_H_
+#define FIM_COMMON_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fim {
+
+/// A fixed-size dynamic bit set used for dense transaction rows and for
+/// fast subset tests in the table-based miners and the verification
+/// oracle. The size is set at construction; all binary operations
+/// require equal sizes.
+class DynamicBitset {
+ public:
+  DynamicBitset() : size_(0) {}
+
+  /// Creates a bitset with `size` bits, all cleared.
+  explicit DynamicBitset(std::size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  std::size_t size() const { return size_; }
+
+  void Set(std::size_t pos) { words_[pos >> 6] |= (uint64_t{1} << (pos & 63)); }
+  void Reset(std::size_t pos) {
+    words_[pos >> 6] &= ~(uint64_t{1} << (pos & 63));
+  }
+  bool Test(std::size_t pos) const {
+    return (words_[pos >> 6] >> (pos & 63)) & 1;
+  }
+
+  /// Clears all bits (keeps the size).
+  void Clear();
+
+  /// Number of set bits.
+  std::size_t Count() const;
+
+  /// True if no bit is set.
+  bool None() const;
+
+  /// In-place intersection with `other`. Sizes must match.
+  void IntersectWith(const DynamicBitset& other);
+
+  /// In-place union with `other`. Sizes must match.
+  void UnionWith(const DynamicBitset& other);
+
+  /// True if every set bit of *this is also set in `other`.
+  bool IsSubsetOf(const DynamicBitset& other) const;
+
+  /// Appends the indices of all set bits, in increasing order, to `out`.
+  void AppendSetBits(std::vector<uint32_t>* out) const;
+
+  friend bool operator==(const DynamicBitset& a, const DynamicBitset& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+ private:
+  std::size_t size_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace fim
+
+#endif  // FIM_COMMON_BITSET_H_

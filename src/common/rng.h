@@ -1,0 +1,40 @@
+#ifndef FIM_COMMON_RNG_H_
+#define FIM_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace fim {
+
+/// Deterministic pseudo-random number generator (xoshiro256**) used by all
+/// synthetic data generators so that every experiment is reproducible from
+/// a seed. Not cryptographically secure; not thread-safe per instance.
+class Rng {
+ public:
+  /// Seeds the state via SplitMix64 so that nearby seeds give unrelated
+  /// streams.
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Standard normal variate (Box-Muller, cached pair).
+  double Normal();
+
+  /// Bernoulli trial with probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace fim
+
+#endif  // FIM_COMMON_RNG_H_

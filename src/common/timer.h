@@ -1,0 +1,28 @@
+#ifndef FIM_COMMON_TIMER_H_
+#define FIM_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace fim {
+
+/// Wall-clock stopwatch used by the benchmark harness.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fim
+
+#endif  // FIM_COMMON_TIMER_H_

@@ -1,0 +1,73 @@
+#include "cumulative/flat_cumulative.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace fim {
+
+namespace {
+
+struct VectorHash {
+  std::size_t operator()(const std::vector<ItemId>& v) const {
+    std::size_t h = 0xcbf29ce484222325ULL;
+    for (ItemId i : v) {
+      h ^= i;
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+};
+
+using Repository =
+    std::unordered_map<std::vector<ItemId>, Support, VectorHash>;
+
+}  // namespace
+
+Status MineClosedFlatCumulative(const TransactionDatabase& db,
+                                const FlatCumulativeOptions& options,
+                                const ClosedSetCallback& callback) {
+  if (options.min_support == 0) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  if (db.NumTransactions() == 0) return Status::OK();
+
+  const Support min_item_support =
+      options.item_elimination ? options.min_support : 1;
+  const Recoding recoding =
+      ComputeRecoding(db, ItemOrder::kNone, min_item_support);
+  const TransactionDatabase coded =
+      ApplyRecoding(db, recoding, options.transaction_order);
+  if (coded.NumTransactions() == 0) return Status::OK();
+
+  Repository repo;
+  // Intersections of the new transaction with every stored set, keyed by
+  // the resulting set; the value is the largest source support (the count
+  // of earlier transactions containing the result).
+  Repository updates;
+  for (const auto& t : coded.transactions()) {
+    updates.clear();
+    updates.emplace(t, 0);
+    for (const auto& [stored, support] : repo) {
+      std::vector<ItemId> inter = IntersectSorted(stored, t);
+      if (inter.empty()) continue;
+      auto [it, inserted] = updates.emplace(std::move(inter), support);
+      if (!inserted && it->second < support) it->second = support;
+    }
+    for (auto& [items, source_support] : updates) {
+      auto [it, inserted] = repo.emplace(items, source_support);
+      // A set already in the repository has its exact count there; a new
+      // set inherits the best source count. Either way the new
+      // transaction contains the set, so add one.
+      ++it->second;
+    }
+  }
+
+  const ClosedSetCallback decoded = MakeDecodingCallback(recoding, callback);
+  for (const auto& [items, support] : repo) {
+    if (support >= options.min_support) decoded(items, support);
+  }
+  return Status::OK();
+}
+
+}  // namespace fim

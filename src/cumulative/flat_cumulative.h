@@ -1,0 +1,35 @@
+#ifndef FIM_CUMULATIVE_FLAT_CUMULATIVE_H_
+#define FIM_CUMULATIVE_FLAT_CUMULATIVE_H_
+
+#include "common/status.h"
+#include "data/itemset.h"
+#include "data/recode.h"
+#include "data/transaction_database.h"
+
+namespace fim {
+
+/// Options of the flat cumulative baseline.
+struct FlatCumulativeOptions {
+  /// Absolute minimum support; must be >= 1.
+  Support min_support = 1;
+
+  /// Drop globally infrequent items up front (safe, see recode.h).
+  bool item_elimination = true;
+
+  /// Transaction processing order (kept for the §3.4 ablation).
+  TransactionOrder transaction_order = TransactionOrder::kSizeAscending;
+};
+
+/// The cumulative intersection scheme of Mielikäinen (FIMI'03) with the
+/// flat repository the paper compares against (§5: "this implementation
+/// does not employ a prefix tree, but a simple flat structure"):
+/// C(T + t) = C(T) + {t} + {s ∩ t : s ∈ C(T)}, with the repository kept
+/// as a hash map from item set to support. Exact but deliberately naive —
+/// this is the ablation baseline that motivates IsTa's prefix tree.
+Status MineClosedFlatCumulative(const TransactionDatabase& db,
+                                const FlatCumulativeOptions& options,
+                                const ClosedSetCallback& callback);
+
+}  // namespace fim
+
+#endif  // FIM_CUMULATIVE_FLAT_CUMULATIVE_H_

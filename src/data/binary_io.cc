@@ -1,0 +1,99 @@
+#include "data/binary_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "data/fimi_io.h"
+
+namespace fim {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'I', 'M', 'B'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void Put(std::ofstream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool Get(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status WriteBinaryFile(const TransactionDatabase& db,
+                       const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out.write(kMagic, sizeof(kMagic));
+  Put(out, kVersion);
+  Put(out, static_cast<uint64_t>(db.NumItems()));
+  Put(out, static_cast<uint64_t>(db.NumTransactions()));
+  for (const auto& t : db.transactions()) {
+    Put(out, static_cast<uint32_t>(t.size()));
+    out.write(reinterpret_cast<const char*>(t.data()),
+              static_cast<std::streamsize>(t.size() * sizeof(ItemId)));
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failure on " + path);
+  return Status::OK();
+}
+
+Result<TransactionDatabase> ReadBinaryFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(path + " is not a FIMB file");
+  }
+  uint32_t version = 0;
+  uint64_t num_items = 0;
+  uint64_t num_transactions = 0;
+  if (!Get(in, &version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported FIMB version");
+  }
+  if (!Get(in, &num_items) || !Get(in, &num_transactions)) {
+    return Status::InvalidArgument("truncated FIMB header");
+  }
+
+  TransactionDatabase db;
+  std::vector<ItemId> items;
+  for (uint64_t k = 0; k < num_transactions; ++k) {
+    uint32_t length = 0;
+    if (!Get(in, &length)) {
+      return Status::InvalidArgument("truncated FIMB transaction header");
+    }
+    items.resize(length);
+    in.read(reinterpret_cast<char*>(items.data()),
+            static_cast<std::streamsize>(length * sizeof(ItemId)));
+    if (!in) return Status::InvalidArgument("truncated FIMB transaction");
+    for (ItemId i : items) {
+      if (i >= num_items) {
+        return Status::InvalidArgument("FIMB item id out of bounds");
+      }
+    }
+    db.AddTransaction(items);
+  }
+  db.SetNumItems(static_cast<std::size_t>(num_items));
+  return db;
+}
+
+Result<TransactionDatabase> ReadDatabaseFile(const std::string& path) {
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe) return Status::IoError("cannot open " + path);
+  char magic[4] = {0, 0, 0, 0};
+  probe.read(magic, sizeof(magic));
+  probe.close();
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) == 0) {
+    return ReadBinaryFile(path);
+  }
+  return ReadFimiFile(path);
+}
+
+}  // namespace fim

@@ -1,0 +1,135 @@
+#include "data/expression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace fim {
+
+namespace {
+
+// Samples `count` distinct indices from [0, bound).
+std::vector<std::size_t> SampleDistinct(std::size_t count, std::size_t bound,
+                                        Rng* rng) {
+  count = std::min(count, bound);
+  // Floyd's algorithm would be fancier; with our sizes a partial
+  // Fisher-Yates over an index vector is simpler and fast enough.
+  std::vector<std::size_t> indices(bound);
+  for (std::size_t i = 0; i < bound; ++i) indices[i] = i;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t j = i + rng->Uniform(bound - i);
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(count);
+  return indices;
+}
+
+}  // namespace
+
+ExpressionMatrix GenerateExpression(const ExpressionConfig& config) {
+  Rng rng(config.seed);
+  ExpressionMatrix matrix(config.num_genes, config.num_conditions);
+
+  // Background noise and optional per-gene bias.
+  for (std::size_t g = 0; g < config.num_genes; ++g) {
+    double bias = config.gene_bias_stddev > 0.0
+                      ? rng.Normal() * config.gene_bias_stddev
+                      : 0.0;
+    for (std::size_t c = 0; c < config.num_conditions; ++c) {
+      matrix.at(g, c) = bias + rng.Normal() * config.noise_stddev;
+    }
+  }
+
+  // Planted modules: each module picks a gene block and a condition block;
+  // every member gene gets a consistent up or down response over the
+  // module's conditions.
+  for (std::size_t m = 0; m < config.num_modules; ++m) {
+    auto genes = SampleDistinct(config.genes_per_module, config.num_genes,
+                                &rng);
+    auto conditions = SampleDistinct(config.conditions_per_module,
+                                     config.num_conditions, &rng);
+    for (std::size_t g : genes) {
+      double sign = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+      double magnitude =
+          config.module_signal * (0.75 + 0.5 * rng.UniformDouble());
+      for (std::size_t c : conditions) {
+        matrix.at(g, c) += sign * magnitude;
+      }
+    }
+  }
+  return matrix;
+}
+
+TransactionDatabase Discretize(const ExpressionMatrix& matrix,
+                               ExpressionOrientation orientation,
+                               double over_threshold, double under_threshold) {
+  TransactionDatabase db;
+  std::vector<ItemId> items;
+  if (orientation == ExpressionOrientation::kConditionsAsTransactions) {
+    for (std::size_t c = 0; c < matrix.num_conditions(); ++c) {
+      items.clear();
+      for (std::size_t g = 0; g < matrix.num_genes(); ++g) {
+        double v = matrix.at(g, c);
+        if (v > over_threshold) {
+          items.push_back(static_cast<ItemId>(2 * g));
+        } else if (v < under_threshold) {
+          items.push_back(static_cast<ItemId>(2 * g + 1));
+        }
+      }
+      db.AddTransaction(items);
+    }
+    db.SetNumItems(2 * matrix.num_genes());
+  } else {
+    for (std::size_t g = 0; g < matrix.num_genes(); ++g) {
+      items.clear();
+      for (std::size_t c = 0; c < matrix.num_conditions(); ++c) {
+        double v = matrix.at(g, c);
+        if (v > over_threshold) {
+          items.push_back(static_cast<ItemId>(2 * c));
+        } else if (v < under_threshold) {
+          items.push_back(static_cast<ItemId>(2 * c + 1));
+        }
+      }
+      db.AddTransaction(items);
+    }
+    db.SetNumItems(2 * matrix.num_conditions());
+  }
+  return db;
+}
+
+
+Result<TransactionDatabase> DiscretizeQuantile(
+    const ExpressionMatrix& matrix, ExpressionOrientation orientation,
+    double tail_fraction) {
+  if (!(tail_fraction > 0.0 && tail_fraction < 0.5)) {
+    return Status::InvalidArgument("tail_fraction must be in (0, 0.5)");
+  }
+  const std::size_t total = matrix.num_genes() * matrix.num_conditions();
+  if (total == 0) {
+    return Status::InvalidArgument("empty expression matrix");
+  }
+  std::vector<double> values;
+  values.reserve(total);
+  for (std::size_t g = 0; g < matrix.num_genes(); ++g) {
+    for (std::size_t c = 0; c < matrix.num_conditions(); ++c) {
+      values.push_back(matrix.at(g, c));
+    }
+  }
+  std::sort(values.begin(), values.end());
+  const auto tail = static_cast<std::size_t>(
+      std::floor(tail_fraction * static_cast<double>(total)));
+  if (tail == 0 || 2 * tail >= total) {
+    return Status::InvalidArgument(
+        "tail_fraction leaves no interior values for this matrix size");
+  }
+  // A value is over-expressed when strictly above the upper cut and
+  // under-expressed when strictly below the lower cut; ties at the cut
+  // fall into the neutral middle, so at most tail_fraction of the
+  // entries land in each tail.
+  const double lower_cut = values[tail];
+  const double upper_cut = values[total - tail - 1];
+  return Discretize(matrix, orientation, upper_cut, lower_cut);
+}
+}  // namespace fim

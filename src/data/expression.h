@@ -1,0 +1,83 @@
+#ifndef FIM_DATA_EXPRESSION_H_
+#define FIM_DATA_EXPRESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/transaction_database.h"
+
+namespace fim {
+
+/// Dense genes x conditions matrix of log expression ratios. Rows are
+/// genes, columns are experimental conditions (paper §4).
+class ExpressionMatrix {
+ public:
+  ExpressionMatrix(std::size_t num_genes, std::size_t num_conditions)
+      : num_genes_(num_genes),
+        num_conditions_(num_conditions),
+        values_(num_genes * num_conditions, 0.0) {}
+
+  std::size_t num_genes() const { return num_genes_; }
+  std::size_t num_conditions() const { return num_conditions_; }
+
+  double at(std::size_t gene, std::size_t condition) const {
+    return values_[gene * num_conditions_ + condition];
+  }
+  double& at(std::size_t gene, std::size_t condition) {
+    return values_[gene * num_conditions_ + condition];
+  }
+
+ private:
+  std::size_t num_genes_;
+  std::size_t num_conditions_;
+  std::vector<double> values_;
+};
+
+/// Configuration of the planted-module expression generator. Modules are
+/// (gene subset, condition subset) blocks with a shared up/down signal per
+/// gene — the co-expression structure that makes transaction intersection
+/// productive on this kind of data.
+struct ExpressionConfig {
+  std::size_t num_genes = 6316;
+  std::size_t num_conditions = 300;
+  std::size_t num_modules = 40;
+  std::size_t genes_per_module = 150;
+  std::size_t conditions_per_module = 30;
+  double module_signal = 0.6;     // mean |shift| of module entries
+  double gene_bias_stddev = 0.0;  // per-gene global bias (NCBI60-like
+                                  // density when > 0)
+  double noise_stddev = 0.2;
+  uint64_t seed = 1;
+};
+
+/// Generates a synthetic expression matrix with planted modules.
+ExpressionMatrix GenerateExpression(const ExpressionConfig& config);
+
+/// Which axis becomes the transactions after discretization.
+enum class ExpressionOrientation {
+  kGenesAsTransactions,       // items = conditions (few items, many tx)
+  kConditionsAsTransactions,  // items = genes (many items, few tx; the
+                              // regime the paper's experiments use)
+};
+
+/// Boolean discretization following the paper: a value > `over_threshold`
+/// yields the "over-expressed" item (2*id), a value < `under_threshold`
+/// yields the "under-expressed" item (2*id + 1); values in between yield
+/// nothing. Default thresholds are the paper's +/-0.2.
+TransactionDatabase Discretize(const ExpressionMatrix& matrix,
+                               ExpressionOrientation orientation,
+                               double over_threshold = 0.2,
+                               double under_threshold = -0.2);
+
+/// Quantile-based discretization: per matrix, the upper `tail_fraction`
+/// of all values becomes over-expression items and the lower
+/// `tail_fraction` becomes under-expression items (a common alternative
+/// when log-ratios are not centered or scaled like the paper's data;
+/// tail_fraction must be in (0, 0.5)). Item encoding as in Discretize.
+Result<TransactionDatabase> DiscretizeQuantile(
+    const ExpressionMatrix& matrix, ExpressionOrientation orientation,
+    double tail_fraction = 0.1);
+
+}  // namespace fim
+
+#endif  // FIM_DATA_EXPRESSION_H_

@@ -1,0 +1,140 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fim {
+
+namespace {
+
+// Samples an index from the cumulative weight table via binary search.
+std::size_t SampleCumulative(const std::vector<double>& cumulative, Rng* rng) {
+  double u = rng->UniformDouble() * cumulative.back();
+  auto it = std::upper_bound(cumulative.begin(), cumulative.end(), u);
+  std::size_t idx = static_cast<std::size_t>(it - cumulative.begin());
+  return std::min(idx, cumulative.size() - 1);
+}
+
+// Geometric-ish size around `mean` with a floor of `floor_size`.
+std::size_t SampleSize(double mean, std::size_t floor_size, Rng* rng) {
+  if (mean <= static_cast<double>(floor_size)) return floor_size;
+  // Exponential with the right mean above the floor.
+  double extra = -(mean - static_cast<double>(floor_size)) *
+                 std::log(1.0 - rng->UniformDouble());
+  return floor_size + static_cast<std::size_t>(extra);
+}
+
+}  // namespace
+
+TransactionDatabase GenerateMarketBasket(const MarketBasketConfig& config) {
+  Rng rng(config.seed);
+
+  // Zipf popularity over a random permutation of the items (so that item
+  // id carries no popularity information).
+  std::vector<ItemId> perm(config.num_items);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    perm[i] = static_cast<ItemId>(i);
+  }
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.Uniform(i)]);
+  }
+  std::vector<double> cumulative(config.num_items);
+  double total = 0.0;
+  for (std::size_t rank = 0; rank < config.num_items; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank + 1),
+                            config.zipf_exponent);
+    cumulative[rank] = total;
+  }
+
+  // Planted patterns: popular-item-biased subsets.
+  std::vector<std::vector<ItemId>> patterns(config.num_patterns);
+  for (auto& pattern : patterns) {
+    std::size_t size =
+        SampleSize(static_cast<double>(config.avg_pattern_size), 2, &rng);
+    size = std::min(size, config.num_items);
+    while (pattern.size() < size) {
+      ItemId item = perm[SampleCumulative(cumulative, &rng)];
+      if (std::find(pattern.begin(), pattern.end(), item) == pattern.end()) {
+        pattern.push_back(item);
+      }
+    }
+  }
+
+  TransactionDatabase db;
+  std::vector<ItemId> items;
+  for (std::size_t t = 0; t < config.num_transactions; ++t) {
+    items.clear();
+    if (!patterns.empty() && rng.Bernoulli(config.pattern_probability)) {
+      const auto& pattern = patterns[rng.Uniform(patterns.size())];
+      for (ItemId item : pattern) {
+        if (rng.Bernoulli(config.pattern_keep_probability)) {
+          items.push_back(item);
+        }
+      }
+    }
+    std::size_t target = SampleSize(config.avg_transaction_size, 1, &rng);
+    while (items.size() < target) {
+      items.push_back(perm[SampleCumulative(cumulative, &rng)]);
+    }
+    db.AddTransaction(items);
+  }
+  db.SetNumItems(config.num_items);
+  return db;
+}
+
+TransactionDatabase GenerateRandomDense(std::size_t num_transactions,
+                                        std::size_t num_items, double density,
+                                        uint64_t seed) {
+  Rng rng(seed);
+  TransactionDatabase db;
+  std::vector<ItemId> items;
+  for (std::size_t t = 0; t < num_transactions; ++t) {
+    items.clear();
+    for (std::size_t i = 0; i < num_items; ++i) {
+      if (rng.Bernoulli(density)) items.push_back(static_cast<ItemId>(i));
+    }
+    db.AddTransaction(items);
+  }
+  db.SetNumItems(num_items);
+  return db;
+}
+
+TransactionDatabase GenerateSparseBinary(const SparseBinaryConfig& config) {
+  Rng rng(config.seed);
+
+  std::vector<std::vector<ItemId>> prototypes(config.num_prototypes);
+  for (auto& proto : prototypes) {
+    proto.reserve(config.features_per_prototype);
+    for (std::size_t f = 0; f < config.features_per_prototype; ++f) {
+      proto.push_back(static_cast<ItemId>(rng.Uniform(config.num_features)));
+    }
+    NormalizeItems(&proto);
+  }
+
+  TransactionDatabase db;
+  std::vector<ItemId> items;
+  for (std::size_t r = 0; r < config.num_records; ++r) {
+    items.clear();
+    for (std::size_t p = 0; p < config.prototypes_per_record &&
+                            !prototypes.empty();
+         ++p) {
+      const auto& proto = prototypes[rng.Uniform(prototypes.size())];
+      for (ItemId f : proto) {
+        if (rng.Bernoulli(config.prototype_keep_probability)) {
+          items.push_back(f);
+        }
+      }
+    }
+    for (std::size_t f = 0; f < config.random_features_per_record; ++f) {
+      items.push_back(static_cast<ItemId>(rng.Uniform(config.num_features)));
+    }
+    db.AddTransaction(items);
+  }
+  db.SetNumItems(config.num_features);
+  return db;
+}
+
+}  // namespace fim

@@ -1,0 +1,54 @@
+#ifndef FIM_DATA_GENERATORS_H_
+#define FIM_DATA_GENERATORS_H_
+
+#include <cstdint>
+
+#include "data/transaction_database.h"
+
+namespace fim {
+
+/// Configuration of the synthetic market-basket generator (IBM-Quest
+/// style): Zipf-distributed item popularity plus planted patterns that
+/// make some item combinations genuinely frequent. Deterministic per seed.
+struct MarketBasketConfig {
+  std::size_t num_items = 1000;
+  std::size_t num_transactions = 10000;
+  double avg_transaction_size = 10.0;
+  double zipf_exponent = 1.0;       // 0 = uniform popularity
+  std::size_t num_patterns = 50;    // planted co-occurrence patterns
+  std::size_t avg_pattern_size = 4; // geometric around this mean (>= 2)
+  double pattern_probability = 0.5; // chance a transaction embeds a pattern
+  double pattern_keep_probability = 0.9;  // per-item corruption
+  uint64_t seed = 1;
+};
+
+/// Generates a market-basket style database.
+TransactionDatabase GenerateMarketBasket(const MarketBasketConfig& config);
+
+/// Generates a database where each of `num_items` items appears in each of
+/// `num_transactions` transactions independently with probability
+/// `density`. Used by the property tests to cover unstructured inputs.
+TransactionDatabase GenerateRandomDense(std::size_t num_transactions,
+                                        std::size_t num_items, double density,
+                                        uint64_t seed);
+
+/// Generates sparse binary records made of shared "prototype" feature
+/// blocks — the Thrombin-like shape (few records, very many features,
+/// records in the same group share large feature blocks).
+struct SparseBinaryConfig {
+  std::size_t num_records = 64;
+  std::size_t num_features = 139351;
+  std::size_t num_prototypes = 12;          // shared feature blocks
+  std::size_t features_per_prototype = 800; // block size
+  std::size_t prototypes_per_record = 3;    // blocks mixed into a record
+  double prototype_keep_probability = 0.85; // per-feature subsampling
+  std::size_t random_features_per_record = 300;
+  uint64_t seed = 1;
+};
+
+/// Generates a Thrombin-like sparse binary database.
+TransactionDatabase GenerateSparseBinary(const SparseBinaryConfig& config);
+
+}  // namespace fim
+
+#endif  // FIM_DATA_GENERATORS_H_

@@ -1,0 +1,55 @@
+#include "data/itemset.h"
+
+#include <algorithm>
+
+namespace fim {
+
+bool ClosedItemsetLess(const ClosedItemset& a, const ClosedItemset& b) {
+  if (a.items != b.items) {
+    return std::lexicographical_compare(a.items.begin(), a.items.end(),
+                                        b.items.begin(), b.items.end());
+  }
+  return a.support < b.support;
+}
+
+ClosedSetCallback ClosedSetCollector::AsCallback() {
+  return [this](std::span<const ItemId> items, Support support) {
+    sets_.push_back(
+        ClosedItemset{std::vector<ItemId>(items.begin(), items.end()),
+                      support});
+  };
+}
+
+void ClosedSetCollector::SortCanonical() {
+  std::sort(sets_.begin(), sets_.end(), ClosedItemsetLess);
+}
+
+void NormalizeItems(std::vector<ItemId>* items) {
+  std::sort(items->begin(), items->end());
+  items->erase(std::unique(items->begin(), items->end()), items->end());
+}
+
+std::vector<ItemId> IntersectSorted(std::span<const ItemId> a,
+                                    std::span<const ItemId> b) {
+  std::vector<ItemId> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+bool IsSubsetSorted(std::span<const ItemId> a, std::span<const ItemId> b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+std::string ItemsToString(std::span<const ItemId> items) {
+  std::string s = "{";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += std::to_string(items[i]);
+  }
+  s += "}";
+  return s;
+}
+
+}  // namespace fim

@@ -1,0 +1,74 @@
+#ifndef FIM_DATA_ITEMSET_H_
+#define FIM_DATA_ITEMSET_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fim {
+
+/// Integer identifier of an item. Items of a database are 0..NumItems()-1.
+using ItemId = uint32_t;
+
+/// Index of a transaction within a database.
+using Tid = uint32_t;
+
+/// Absolute support (number of transactions containing an item set).
+using Support = uint32_t;
+
+/// Sentinel for "no item".
+inline constexpr ItemId kInvalidItem = static_cast<ItemId>(-1);
+
+/// An item set together with its support, as reported by the miners.
+/// `items` is sorted ascending and duplicate-free.
+struct ClosedItemset {
+  std::vector<ItemId> items;
+  Support support = 0;
+
+  friend bool operator==(const ClosedItemset& a,
+                         const ClosedItemset& b) = default;
+};
+
+/// Canonical order: by items lexicographically, then by support.
+bool ClosedItemsetLess(const ClosedItemset& a, const ClosedItemset& b);
+
+/// Callback invoked once per reported closed item set. `items` is sorted
+/// ascending; it is only valid for the duration of the call.
+using ClosedSetCallback =
+    std::function<void(std::span<const ItemId> items, Support support)>;
+
+/// Convenience sink that materializes all reported sets.
+class ClosedSetCollector {
+ public:
+  /// Returns a callback bound to this collector.
+  ClosedSetCallback AsCallback();
+
+  /// Sorts the collected sets into canonical order (for comparisons).
+  void SortCanonical();
+
+  const std::vector<ClosedItemset>& sets() const { return sets_; }
+  std::vector<ClosedItemset> TakeSets() { return std::move(sets_); }
+  std::size_t size() const { return sets_.size(); }
+
+ private:
+  std::vector<ClosedItemset> sets_;
+};
+
+/// Sorts `items` ascending and removes duplicates, in place.
+void NormalizeItems(std::vector<ItemId>* items);
+
+/// Intersection of two ascending sorted item vectors.
+std::vector<ItemId> IntersectSorted(std::span<const ItemId> a,
+                                    std::span<const ItemId> b);
+
+/// True if sorted `a` is a subset of sorted `b`.
+bool IsSubsetSorted(std::span<const ItemId> a, std::span<const ItemId> b);
+
+/// Renders an item vector as "{1, 4, 7}".
+std::string ItemsToString(std::span<const ItemId> items);
+
+}  // namespace fim
+
+#endif  // FIM_DATA_ITEMSET_H_

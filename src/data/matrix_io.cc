@@ -1,0 +1,103 @@
+#include "data/matrix_io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace fim {
+
+namespace {
+
+// Splits one line into doubles. Returns false on a malformed token.
+bool ParseRow(std::string_view line, std::vector<double>* row,
+              std::string* error) {
+  row->clear();
+  const char* p = line.data();
+  const char* end = line.data() + line.size();
+  while (p < end) {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+    if (p >= end) break;
+    char* after = nullptr;
+    const double value = std::strtod(p, &after);
+    if (after == p) {
+      *error = "unparsable number near '" +
+               std::string(p, std::min<std::size_t>(8, end - p)) + "'";
+      return false;
+    }
+    row->push_back(value);
+    p = after;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<ExpressionMatrix> ParseExpressionMatrix(std::string_view text) {
+  std::vector<std::vector<double>> rows;
+  std::string error;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    ++line_no;
+    const bool last = end == text.size();
+    start = end + 1;
+    if (!line.empty() && line[0] != '#') {
+      std::vector<double> row;
+      if (!ParseRow(line, &row, &error)) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": " + error);
+      }
+      if (!row.empty()) {
+        if (!rows.empty() && row.size() != rows.front().size()) {
+          return Status::InvalidArgument(
+              "line " + std::to_string(line_no) + ": expected " +
+              std::to_string(rows.front().size()) + " columns, got " +
+              std::to_string(row.size()));
+        }
+        rows.push_back(std::move(row));
+      }
+    }
+    if (last) break;
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("no data rows");
+  }
+  ExpressionMatrix matrix(rows.size(), rows.front().size());
+  for (std::size_t g = 0; g < rows.size(); ++g) {
+    for (std::size_t c = 0; c < rows[g].size(); ++c) {
+      matrix.at(g, c) = rows[g][c];
+    }
+  }
+  return matrix;
+}
+
+Result<ExpressionMatrix> ReadExpressionMatrixFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failure on " + path);
+  return ParseExpressionMatrix(buffer.str());
+}
+
+Status WriteExpressionMatrixFile(const ExpressionMatrix& matrix,
+                                 const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  for (std::size_t g = 0; g < matrix.num_genes(); ++g) {
+    for (std::size_t c = 0; c < matrix.num_conditions(); ++c) {
+      if (c > 0) out << '\t';
+      out << matrix.at(g, c);
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failure on " + path);
+  return Status::OK();
+}
+
+}  // namespace fim

@@ -1,0 +1,29 @@
+#ifndef FIM_DATA_MATRIX_IO_H_
+#define FIM_DATA_MATRIX_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "data/expression.h"
+
+namespace fim {
+
+/// Reads an expression matrix from tab/space-separated text: one gene
+/// per row, one numeric log-ratio per condition. All rows must have the
+/// same number of columns; blank lines and lines starting with '#' are
+/// skipped. This is the interchange format for real compendium data
+/// (paper §4); the gene_expression example and the fim-discretize tool
+/// consume it.
+Result<ExpressionMatrix> ReadExpressionMatrixFile(const std::string& path);
+
+/// Parses the same format from a string (for tests).
+Result<ExpressionMatrix> ParseExpressionMatrix(std::string_view text);
+
+/// Writes a matrix in the same format. Overwrites `path`.
+Status WriteExpressionMatrixFile(const ExpressionMatrix& matrix,
+                                 const std::string& path);
+
+}  // namespace fim
+
+#endif  // FIM_DATA_MATRIX_IO_H_

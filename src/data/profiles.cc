@@ -1,0 +1,89 @@
+#include "data/profiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/expression.h"
+#include "data/generators.h"
+#include "data/transpose.h"
+
+namespace fim {
+
+namespace {
+
+std::size_t Scaled(std::size_t full, double scale, std::size_t floor_value) {
+  auto scaled = static_cast<std::size_t>(std::llround(
+      static_cast<double>(full) * scale));
+  return std::max(scaled, floor_value);
+}
+
+}  // namespace
+
+TransactionDatabase MakeYeastLike(double scale, uint64_t seed) {
+  ExpressionConfig config;
+  config.num_genes = Scaled(6316, scale, 64);
+  config.num_conditions = 300;
+  config.num_modules = Scaled(40, scale, 6);
+  config.genes_per_module = Scaled(150, scale, 8);
+  config.conditions_per_module = 30;
+  config.module_signal = 0.6;
+  config.gene_bias_stddev = 0.0;
+  // Low background noise: a gene crosses the +/-0.2 thresholds almost
+  // only when a planted module drives it, which matches the sparse,
+  // structured responses of the real compendium (random threshold
+  // crossings would blow the closed-set count up combinatorially).
+  config.noise_stddev = 0.1;
+  config.seed = seed;
+  ExpressionMatrix matrix = GenerateExpression(config);
+  return Discretize(matrix, ExpressionOrientation::kConditionsAsTransactions);
+}
+
+TransactionDatabase MakeNcbi60Like(double scale, uint64_t seed) {
+  ExpressionConfig config;
+  config.num_genes = Scaled(1400, scale, 48);
+  config.num_conditions = 64;
+  config.num_modules = Scaled(12, scale, 3);
+  config.genes_per_module = Scaled(200, scale, 8);
+  config.conditions_per_module = 48;
+  config.module_signal = 0.5;
+  // Strong per-gene bias: many genes are consistently over- or
+  // under-expressed across nearly all cell lines, which keeps closed sets
+  // plentiful even at supports close to the transaction count.
+  config.gene_bias_stddev = 0.45;
+  config.noise_stddev = 0.15;
+  config.seed = seed;
+  ExpressionMatrix matrix = GenerateExpression(config);
+  return Discretize(matrix, ExpressionOrientation::kConditionsAsTransactions);
+}
+
+TransactionDatabase MakeThrombinLike(double scale, uint64_t seed) {
+  SparseBinaryConfig config;
+  config.num_records = 64;
+  config.num_features = Scaled(139351, scale, 512);
+  config.num_prototypes = 12;
+  config.features_per_prototype = Scaled(800, scale, 32);
+  // Records mix half of the prototype pool, so shared feature blocks
+  // reach supports in the paper's smin sweep range (25..40 of 64).
+  config.prototypes_per_record = 6;
+  config.prototype_keep_probability = 0.85;
+  config.random_features_per_record = Scaled(300, scale, 16);
+  config.seed = seed;
+  return GenerateSparseBinary(config);
+}
+
+TransactionDatabase MakeWebviewLike(double scale, uint64_t seed) {
+  MarketBasketConfig config;
+  config.num_items = 497;
+  config.num_transactions = Scaled(59602, scale, 512);
+  config.avg_transaction_size = 2.5;
+  config.zipf_exponent = 1.0;
+  config.num_patterns = 60;
+  config.avg_pattern_size = 3;
+  config.pattern_probability = 0.35;
+  config.pattern_keep_probability = 0.9;
+  config.seed = seed;
+  TransactionDatabase baskets = GenerateMarketBasket(config);
+  return Transpose(baskets);
+}
+
+}  // namespace fim

@@ -1,0 +1,37 @@
+#ifndef FIM_DATA_PROFILES_H_
+#define FIM_DATA_PROFILES_H_
+
+#include <cstdint>
+
+#include "data/transaction_database.h"
+
+namespace fim {
+
+/// Synthetic stand-ins for the paper's four evaluation data sets (see
+/// DESIGN.md §3). `scale` in (0, 1] shrinks the item/gene/feature axis
+/// (and for the web-view profile also the basket count) so the benches
+/// can run quickly; scale = 1 reproduces the paper's dimensions. Each
+/// profile is deterministic per seed.
+
+/// Baker's-yeast compendium stand-in: 300 condition-transactions over
+/// ~2 * 6316 * scale over/under-expression items, planted co-expression
+/// modules, discretized at the paper's +/-0.2 thresholds.
+TransactionDatabase MakeYeastLike(double scale = 1.0, uint64_t seed = 42);
+
+/// NCBI60 stand-in: 64 cell-line transactions over ~2 * 1400 * scale
+/// items with strong per-gene bias, so many items occur in almost every
+/// transaction (the paper sweeps smin 46..54 of ~60).
+TransactionDatabase MakeNcbi60Like(double scale = 1.0, uint64_t seed = 43);
+
+/// Thrombin (KDD Cup 2001) subset stand-in: 64 sparse binary records over
+/// 139351 * scale features with shared prototype feature blocks.
+TransactionDatabase MakeThrombinLike(double scale = 1.0, uint64_t seed = 44);
+
+/// Transposed BMS-WebView-1 stand-in: a 497-item power-law click-stream
+/// basket database with 59602 * scale baskets, transposed so that the
+/// result has 497 transactions over many items.
+TransactionDatabase MakeWebviewLike(double scale = 1.0, uint64_t seed = 45);
+
+}  // namespace fim
+
+#endif  // FIM_DATA_PROFILES_H_

@@ -1,0 +1,127 @@
+#include "data/result_io.h"
+
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+namespace fim {
+
+std::string ClosedSetsToString(const std::vector<ClosedItemset>& sets) {
+  std::string out;
+  for (const auto& set : sets) {
+    for (std::size_t i = 0; i < set.items.size(); ++i) {
+      if (i > 0) out += ' ';
+      out += std::to_string(set.items[i]);
+    }
+    out += " (";
+    out += std::to_string(set.support);
+    out += ")\n";
+  }
+  return out;
+}
+
+Status WriteClosedSetsFile(const std::vector<ClosedItemset>& sets,
+                           const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << ClosedSetsToString(sets);
+  out.flush();
+  if (!out) return Status::IoError("write failure on " + path);
+  return Status::OK();
+}
+
+namespace {
+
+bool ParseLine(std::string_view line, ClosedItemset* set,
+               std::string* error) {
+  set->items.clear();
+  set->support = 0;
+  std::size_t pos = 0;
+  bool saw_support = false;
+  while (pos < line.size()) {
+    while (pos < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[pos]))) {
+      ++pos;
+    }
+    if (pos >= line.size()) break;
+    if (line[pos] == '(') {
+      ++pos;
+      uint64_t value = 0;
+      bool digits = false;
+      while (pos < line.size() &&
+             std::isdigit(static_cast<unsigned char>(line[pos]))) {
+        value = value * 10 + static_cast<uint64_t>(line[pos] - '0');
+        digits = true;
+        ++pos;
+      }
+      if (!digits || pos >= line.size() || line[pos] != ')') {
+        *error = "malformed support";
+        return false;
+      }
+      ++pos;
+      set->support = static_cast<Support>(value);
+      saw_support = true;
+    } else if (std::isdigit(static_cast<unsigned char>(line[pos]))) {
+      if (saw_support) {
+        *error = "items after the support";
+        return false;
+      }
+      uint64_t value = 0;
+      while (pos < line.size() &&
+             std::isdigit(static_cast<unsigned char>(line[pos]))) {
+        value = value * 10 + static_cast<uint64_t>(line[pos] - '0');
+        ++pos;
+      }
+      set->items.push_back(static_cast<ItemId>(value));
+    } else {
+      *error = "unexpected character '" + std::string(1, line[pos]) + "'";
+      return false;
+    }
+  }
+  if (!saw_support) {
+    *error = "missing support";
+    return false;
+  }
+  NormalizeItems(&set->items);
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<ClosedItemset>> ParseClosedSets(std::string_view text) {
+  std::vector<ClosedItemset> sets;
+  std::string error;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    ++line_no;
+    const bool last = end == text.size();
+    start = end + 1;
+    if (!line.empty() && line[0] != '#') {
+      ClosedItemset set;
+      if (!ParseLine(line, &set, &error)) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": " + error);
+      }
+      sets.push_back(std::move(set));
+    }
+    if (last) break;
+  }
+  return sets;
+}
+
+Result<std::vector<ClosedItemset>> ReadClosedSetsFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failure on " + path);
+  return ParseClosedSets(buffer.str());
+}
+
+}  // namespace fim

@@ -1,0 +1,31 @@
+#ifndef FIM_DATA_RESULT_IO_H_
+#define FIM_DATA_RESULT_IO_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "data/itemset.h"
+
+namespace fim {
+
+/// Writes mined sets in the classic miner output format — one set per
+/// line, items space-separated, absolute support in parentheses:
+/// "3 17 42 (57)". This is also what the fim-mine tool prints.
+Status WriteClosedSetsFile(const std::vector<ClosedItemset>& sets,
+                           const std::string& path);
+
+/// Renders the same format to a string.
+std::string ClosedSetsToString(const std::vector<ClosedItemset>& sets);
+
+/// Parses the format back (for result pipelines and round-trip tests).
+Result<std::vector<ClosedItemset>> ParseClosedSets(std::string_view text);
+
+/// Reads a result file written by WriteClosedSetsFile / fim-mine.
+Result<std::vector<ClosedItemset>> ReadClosedSetsFile(
+    const std::string& path);
+
+}  // namespace fim
+
+#endif  // FIM_DATA_RESULT_IO_H_

@@ -1,0 +1,33 @@
+#ifndef FIM_DATA_STATS_H_
+#define FIM_DATA_STATS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "data/transaction_database.h"
+
+namespace fim {
+
+/// Shape summary of a transaction database. The ratio of items to
+/// transactions is what decides between intersection and enumeration
+/// miners (paper §1/§5), so the examples and benches print this.
+struct DatabaseStats {
+  std::size_t num_transactions = 0;
+  std::size_t num_items = 0;        // size of the item base
+  std::size_t num_used_items = 0;   // items occurring at least once
+  std::size_t total_occurrences = 0;
+  std::size_t min_transaction_size = 0;
+  std::size_t max_transaction_size = 0;
+  double avg_transaction_size = 0.0;
+  double density = 0.0;  // total_occurrences / (transactions * used items)
+};
+
+/// Computes the shape summary of `db`.
+DatabaseStats ComputeStats(const TransactionDatabase& db);
+
+/// One-line rendering, e.g. "300 tx x 9812 items, avg size 412.3, ...".
+std::string StatsToString(const DatabaseStats& stats);
+
+}  // namespace fim
+
+#endif  // FIM_DATA_STATS_H_

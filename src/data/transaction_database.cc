@@ -1,0 +1,71 @@
+#include "data/transaction_database.h"
+
+#include <algorithm>
+
+namespace fim {
+
+TransactionDatabase TransactionDatabase::FromTransactions(
+    std::vector<std::vector<ItemId>> transactions, std::size_t num_items) {
+  TransactionDatabase db;
+  for (auto& t : transactions) db.AddTransaction(std::move(t));
+  db.SetNumItems(num_items);
+  return db;
+}
+
+void TransactionDatabase::AddTransaction(std::vector<ItemId> items) {
+  NormalizeItems(&items);
+  if (items.empty()) return;
+  num_items_ = std::max(num_items_, static_cast<std::size_t>(items.back()) + 1);
+  transactions_.push_back(std::move(items));
+}
+
+void TransactionDatabase::SetNumItems(std::size_t num_items) {
+  num_items_ = std::max(num_items_, num_items);
+}
+
+Status TransactionDatabase::SetItemNames(std::vector<std::string> names) {
+  if (names.size() != num_items_) {
+    return Status::InvalidArgument("item name count does not match item base");
+  }
+  item_names_ = std::move(names);
+  return Status::OK();
+}
+
+std::string TransactionDatabase::ItemName(ItemId item) const {
+  if (item < item_names_.size()) return item_names_[item];
+  return std::to_string(item);
+}
+
+std::size_t TransactionDatabase::TotalItemOccurrences() const {
+  std::size_t total = 0;
+  for (const auto& t : transactions_) total += t.size();
+  return total;
+}
+
+std::vector<Support> TransactionDatabase::ItemFrequencies() const {
+  std::vector<Support> freq(num_items_, 0);
+  for (const auto& t : transactions_) {
+    for (ItemId i : t) ++freq[i];
+  }
+  return freq;
+}
+
+std::vector<std::vector<Tid>> TransactionDatabase::BuildVertical() const {
+  std::vector<std::vector<Tid>> tidlists(num_items_);
+  for (std::size_t k = 0; k < transactions_.size(); ++k) {
+    for (ItemId i : transactions_[k]) {
+      tidlists[i].push_back(static_cast<Tid>(k));
+    }
+  }
+  return tidlists;
+}
+
+Support TransactionDatabase::CountSupport(std::span<const ItemId> items) const {
+  Support s = 0;
+  for (const auto& t : transactions_) {
+    if (IsSubsetSorted(items, t)) ++s;
+  }
+  return s;
+}
+
+}  // namespace fim

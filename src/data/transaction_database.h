@@ -1,0 +1,77 @@
+#ifndef FIM_DATA_TRANSACTION_DATABASE_H_
+#define FIM_DATA_TRANSACTION_DATABASE_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/itemset.h"
+
+namespace fim {
+
+/// Horizontal transaction database: a bag of transactions, each a sorted,
+/// duplicate-free vector of item ids over the item base 0..NumItems()-1.
+///
+/// This is the input type of every miner in the library. Construction is
+/// incremental via AddTransaction(); items are normalized on insertion.
+/// Empty transactions are kept out (they carry no information for closed
+/// item set mining; see paper §2.2 "no empty transactions are ever kept").
+class TransactionDatabase {
+ public:
+  TransactionDatabase() = default;
+
+  /// Builds a database from raw transactions; items are normalized.
+  /// `num_items` may be 0 to derive the item base from the data.
+  static TransactionDatabase FromTransactions(
+      std::vector<std::vector<ItemId>> transactions, std::size_t num_items = 0);
+
+  /// Adds one transaction (sorted + deduplicated internally). Empty
+  /// transactions are dropped. Grows the item base if needed.
+  void AddTransaction(std::vector<ItemId> items);
+
+  /// Declares the item base size (useful when some items never occur).
+  /// Never shrinks below the largest item seen.
+  void SetNumItems(std::size_t num_items);
+
+  /// Optional human-readable item names (for examples / reporting).
+  /// Must have exactly NumItems() entries when set.
+  Status SetItemNames(std::vector<std::string> names);
+  const std::vector<std::string>& item_names() const { return item_names_; }
+
+  /// Name of `item`, or its numeric id when no names are attached.
+  std::string ItemName(ItemId item) const;
+
+  std::size_t NumTransactions() const { return transactions_.size(); }
+  std::size_t NumItems() const { return num_items_; }
+
+  /// Total number of item occurrences over all transactions.
+  std::size_t TotalItemOccurrences() const;
+
+  const std::vector<ItemId>& transaction(std::size_t i) const {
+    return transactions_[i];
+  }
+  const std::vector<std::vector<ItemId>>& transactions() const {
+    return transactions_;
+  }
+
+  /// Number of transactions containing each item.
+  std::vector<Support> ItemFrequencies() const;
+
+  /// Vertical representation: for each item, the ascending list of
+  /// transaction indices containing it (the Carpenter representation).
+  std::vector<std::vector<Tid>> BuildVertical() const;
+
+  /// Support of an arbitrary (sorted) item set by direct counting.
+  /// O(total database size); meant for tests and small inputs.
+  Support CountSupport(std::span<const ItemId> items) const;
+
+ private:
+  std::vector<std::vector<ItemId>> transactions_;
+  std::vector<std::string> item_names_;
+  std::size_t num_items_ = 0;
+};
+
+}  // namespace fim
+
+#endif  // FIM_DATA_TRANSACTION_DATABASE_H_

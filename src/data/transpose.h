@@ -1,0 +1,17 @@
+#ifndef FIM_DATA_TRANSPOSE_H_
+#define FIM_DATA_TRANSPOSE_H_
+
+#include "data/transaction_database.h"
+
+namespace fim {
+
+/// Transposes a database: transaction k of the result is the tid list of
+/// item k of the input (items and transactions swap roles, paper §4 —
+/// used to turn BMS-WebView-1 into a many-items / few-transactions data
+/// set). Items that occur in no transaction produce no output transaction;
+/// the result's item base size equals the input's transaction count.
+TransactionDatabase Transpose(const TransactionDatabase& db);
+
+}  // namespace fim
+
+#endif  // FIM_DATA_TRANSPOSE_H_

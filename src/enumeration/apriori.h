@@ -1,0 +1,26 @@
+#ifndef FIM_ENUMERATION_APRIORI_H_
+#define FIM_ENUMERATION_APRIORI_H_
+
+#include "common/status.h"
+#include "data/itemset.h"
+#include "data/transaction_database.h"
+
+namespace fim {
+
+/// Options of the Apriori all-frequent-set miner.
+struct AprioriOptions {
+  /// Absolute minimum support; must be >= 1.
+  Support min_support = 1;
+};
+
+/// Classic level-wise Apriori (Agrawal & Srikant): generate size-(k+1)
+/// candidates by joining frequent size-k sets, prune by the apriori
+/// property, count by database scan. Reports ALL frequent item sets.
+/// Intended for moderate inputs, tests, and cross-checks.
+Status MineFrequentApriori(const TransactionDatabase& db,
+                           const AprioriOptions& options,
+                           const ClosedSetCallback& callback);
+
+}  // namespace fim
+
+#endif  // FIM_ENUMERATION_APRIORI_H_

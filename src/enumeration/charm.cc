@@ -1,0 +1,145 @@
+#include "enumeration/charm.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "data/recode.h"
+
+namespace fim {
+
+namespace {
+
+struct Node {
+  std::vector<ItemId> items;  // sorted ascending
+  std::vector<Tid> tids;      // sorted ascending
+};
+
+class CharmMiner {
+ public:
+  CharmMiner(Support min_support, const ClosedSetCallback& callback)
+      : min_support_(min_support), callback_(callback) {}
+
+  void Run(std::vector<Node> roots) { Extend(&roots); }
+
+ private:
+  // Extends every node of the current level, applying the CHARM
+  // properties: when two tidsets are equal or nested, the itemsets can
+  // be merged without losing closed sets.
+  void Extend(std::vector<Node>* nodes) {
+    // Process in order of increasing tidset size (CHARM's heuristic).
+    std::sort(nodes->begin(), nodes->end(), [](const Node& a, const Node& b) {
+      return a.tids.size() < b.tids.size();
+    });
+    for (std::size_t i = 0; i < nodes->size(); ++i) {
+      Node& current = (*nodes)[i];
+      if (current.items.empty()) continue;  // merged away
+      // First pass: apply properties 1/2 (tidset equal / superset), which
+      // only grow `current`'s item set; stash the genuine extensions.
+      // Children are materialized afterwards so they inherit ALL merged
+      // items — creating them eagerly would lose later property-2 items.
+      std::vector<std::pair<std::size_t, std::vector<Tid>>> extensions;
+      for (std::size_t j = i + 1; j < nodes->size(); ++j) {
+        Node& other = (*nodes)[j];
+        if (other.items.empty()) continue;
+        std::vector<Tid> inter;
+        inter.reserve(std::min(current.tids.size(), other.tids.size()));
+        std::set_intersection(current.tids.begin(), current.tids.end(),
+                              other.tids.begin(), other.tids.end(),
+                              std::back_inserter(inter));
+        const bool covers_current = inter.size() == current.tids.size();
+        const bool covers_other = inter.size() == other.tids.size();
+        if (covers_current && covers_other) {
+          // Property 1: identical tidsets -> merge, drop the other branch.
+          MergeItems(&current.items, other.items);
+          other.items.clear();
+        } else if (covers_current) {
+          // Property 2: t(current) subset of t(other): every closed set
+          // containing `current` also contains `other`'s items.
+          MergeItems(&current.items, other.items);
+        } else if (inter.size() >= min_support_) {
+          // Properties 3/4: a genuine new candidate below `current`.
+          extensions.emplace_back(j, std::move(inter));
+        }
+      }
+      std::vector<Node> children;
+      children.reserve(extensions.size());
+      for (auto& [j, inter] : extensions) {
+        Node child;
+        child.items = current.items;
+        MergeItems(&child.items, (*nodes)[j].items);
+        child.tids = std::move(inter);
+        children.push_back(std::move(child));
+      }
+      if (!children.empty()) Extend(&children);
+      ReportIfClosed(current);
+    }
+  }
+
+  static void MergeItems(std::vector<ItemId>* into,
+                         const std::vector<ItemId>& from) {
+    std::vector<ItemId> merged;
+    merged.reserve(into->size() + from.size());
+    std::set_union(into->begin(), into->end(), from.begin(), from.end(),
+                   std::back_inserter(merged));
+    *into = std::move(merged);
+  }
+
+  // Subsumption check: `node` is closed unless an already-reported set
+  // with the same tidset-hash has the same support and contains it.
+  void ReportIfClosed(const Node& node) {
+    const Support support = static_cast<Support>(node.tids.size());
+    if (support < min_support_) return;
+    std::size_t hash = 0;
+    for (Tid t : node.tids) hash += t;  // CHARM's tidset-sum hash
+    auto& bucket = reported_[hash];
+    for (const auto& existing : bucket) {
+      if (existing.second == support &&
+          IsSubsetSorted(node.items, existing.first)) {
+        return;  // subsumed: not closed
+      }
+    }
+    callback_(node.items, support);
+    bucket.emplace_back(node.items, support);
+  }
+
+  const Support min_support_;
+  const ClosedSetCallback& callback_;
+  std::unordered_map<std::size_t,
+                     std::vector<std::pair<std::vector<ItemId>, Support>>>
+      reported_;
+};
+
+}  // namespace
+
+Status MineClosedCharm(const TransactionDatabase& db,
+                       const CharmOptions& options,
+                       const ClosedSetCallback& callback) {
+  if (options.min_support == 0) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  if (db.NumTransactions() == 0) return Status::OK();
+
+  const Recoding recoding = ComputeRecoding(
+      db, ItemOrder::kFrequencyAscending, options.min_support);
+  const TransactionDatabase coded =
+      ApplyRecoding(db, recoding, TransactionOrder::kNone);
+  if (coded.NumTransactions() == 0) return Status::OK();
+
+  auto tidlists = coded.BuildVertical();
+  std::vector<Node> roots;
+  roots.reserve(tidlists.size());
+  for (std::size_t i = 0; i < tidlists.size(); ++i) {
+    if (tidlists[i].size() >= options.min_support) {
+      roots.push_back(Node{{static_cast<ItemId>(i)},
+                           std::move(tidlists[i])});
+    }
+  }
+
+  const ClosedSetCallback decoded = MakeDecodingCallback(recoding, callback);
+  CharmMiner miner(options.min_support, decoded);
+  miner.Run(std::move(roots));
+  return Status::OK();
+}
+
+}  // namespace fim

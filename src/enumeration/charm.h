@@ -1,0 +1,27 @@
+#ifndef FIM_ENUMERATION_CHARM_H_
+#define FIM_ENUMERATION_CHARM_H_
+
+#include "common/status.h"
+#include "data/itemset.h"
+#include "data/transaction_database.h"
+
+namespace fim {
+
+/// Options of the CHARM baseline.
+struct CharmOptions {
+  /// Absolute minimum support; must be >= 1.
+  Support min_support = 1;
+};
+
+/// Closed frequent item set mining with a CHARM-style itemset-tidset
+/// search (Zaki & Hsiao): vertical tid sets, the four tidset-relation
+/// properties to grow closures and prune the search, plus a subsumption
+/// check before reporting. A third enumeration-side baseline next to
+/// FP-close and LCM. Same output contract as the other miners.
+Status MineClosedCharm(const TransactionDatabase& db,
+                       const CharmOptions& options,
+                       const ClosedSetCallback& callback);
+
+}  // namespace fim
+
+#endif  // FIM_ENUMERATION_CHARM_H_

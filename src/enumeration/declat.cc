@@ -1,0 +1,112 @@
+#include "enumeration/declat.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "data/recode.h"
+
+namespace fim {
+
+namespace {
+
+// A column of the current equivalence class. At the first level `set`
+// holds the tid set; deeper, it holds the diffset w.r.t. the class
+// prefix.
+struct Column {
+  ItemId item;
+  Support support;
+  std::vector<Tid> set;
+};
+
+class DeclatMiner {
+ public:
+  DeclatMiner(Support min_support, const ClosedSetCallback& callback)
+      : min_support_(min_support), callback_(callback) {}
+
+  // First level: tid sets; children switch to diffsets.
+  void MineRoot(const std::vector<Column>& columns,
+                std::vector<ItemId>* prefix) {
+    for (std::size_t a = 0; a < columns.size(); ++a) {
+      prefix->push_back(columns[a].item);
+      callback_(*prefix, columns[a].support);
+      std::vector<Column> next;
+      for (std::size_t b = a + 1; b < columns.size(); ++b) {
+        // diffset(ab) = t(a) \ t(b); supp(ab) = supp(a) - |diffset|.
+        std::vector<Tid> diff;
+        std::set_difference(columns[a].set.begin(), columns[a].set.end(),
+                            columns[b].set.begin(), columns[b].set.end(),
+                            std::back_inserter(diff));
+        const Support support =
+            columns[a].support - static_cast<Support>(diff.size());
+        if (support >= min_support_) {
+          next.push_back(Column{columns[b].item, support, std::move(diff)});
+        }
+      }
+      if (!next.empty()) MineDiff(next, prefix);
+      prefix->pop_back();
+    }
+  }
+
+ private:
+  // Deeper levels: d(P a b) = d(P b) \ d(P a), supp = supp(Pa) - |d(Pab)|.
+  void MineDiff(const std::vector<Column>& columns,
+                std::vector<ItemId>* prefix) {
+    for (std::size_t a = 0; a < columns.size(); ++a) {
+      prefix->push_back(columns[a].item);
+      callback_(*prefix, columns[a].support);
+      std::vector<Column> next;
+      for (std::size_t b = a + 1; b < columns.size(); ++b) {
+        std::vector<Tid> diff;
+        std::set_difference(columns[b].set.begin(), columns[b].set.end(),
+                            columns[a].set.begin(), columns[a].set.end(),
+                            std::back_inserter(diff));
+        const Support support =
+            columns[a].support - static_cast<Support>(diff.size());
+        if (support >= min_support_) {
+          next.push_back(Column{columns[b].item, support, std::move(diff)});
+        }
+      }
+      if (!next.empty()) MineDiff(next, prefix);
+      prefix->pop_back();
+    }
+  }
+
+  const Support min_support_;
+  const ClosedSetCallback& callback_;
+};
+
+}  // namespace
+
+Status MineFrequentDeclat(const TransactionDatabase& db,
+                          const DeclatOptions& options,
+                          const ClosedSetCallback& callback) {
+  if (options.min_support == 0) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  if (db.NumTransactions() == 0) return Status::OK();
+
+  const Recoding recoding = ComputeRecoding(
+      db, ItemOrder::kFrequencyAscending, options.min_support);
+  const TransactionDatabase coded =
+      ApplyRecoding(db, recoding, TransactionOrder::kNone);
+  if (coded.NumTransactions() == 0) return Status::OK();
+
+  auto tidlists = coded.BuildVertical();
+  std::vector<Column> columns;
+  columns.reserve(tidlists.size());
+  for (std::size_t i = 0; i < tidlists.size(); ++i) {
+    if (tidlists[i].size() >= options.min_support) {
+      columns.push_back(Column{static_cast<ItemId>(i),
+                               static_cast<Support>(tidlists[i].size()),
+                               std::move(tidlists[i])});
+    }
+  }
+
+  const ClosedSetCallback decoded = MakeDecodingCallback(recoding, callback);
+  DeclatMiner miner(options.min_support, decoded);
+  std::vector<ItemId> prefix;
+  miner.MineRoot(columns, &prefix);
+  return Status::OK();
+}
+
+}  // namespace fim

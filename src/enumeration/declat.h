@@ -1,0 +1,27 @@
+#ifndef FIM_ENUMERATION_DECLAT_H_
+#define FIM_ENUMERATION_DECLAT_H_
+
+#include "common/status.h"
+#include "data/itemset.h"
+#include "data/transaction_database.h"
+
+namespace fim {
+
+/// Options of the dEclat all-frequent-set miner.
+struct DeclatOptions {
+  /// Absolute minimum support; must be >= 1.
+  Support min_support = 1;
+};
+
+/// Eclat with diffsets (Zaki & Gouda): below the first level, each node
+/// stores the difference of its parent's tid set and its own instead of
+/// the tid set itself — d(PXY) = d(PY) \ d(PX) and supp(PXY) =
+/// supp(PX) - |d(PXY)| — which is much smaller on dense data. Reports
+/// ALL frequent item sets, exactly like MineFrequentEclat.
+Status MineFrequentDeclat(const TransactionDatabase& db,
+                          const DeclatOptions& options,
+                          const ClosedSetCallback& callback);
+
+}  // namespace fim
+
+#endif  // FIM_ENUMERATION_DECLAT_H_

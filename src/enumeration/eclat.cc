@@ -1,0 +1,82 @@
+#include "enumeration/eclat.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "data/recode.h"
+
+namespace fim {
+
+namespace {
+
+struct Column {
+  ItemId item;
+  std::vector<Tid> tids;
+};
+
+class EclatMiner {
+ public:
+  EclatMiner(Support min_support, const ClosedSetCallback& callback)
+      : min_support_(min_support), callback_(callback) {}
+
+  void Mine(const std::vector<Column>& columns, std::vector<ItemId>* prefix) {
+    for (std::size_t a = 0; a < columns.size(); ++a) {
+      prefix->push_back(columns[a].item);
+      callback_(*prefix, static_cast<Support>(columns[a].tids.size()));
+      // Extensions: intersect with the later columns.
+      std::vector<Column> next;
+      for (std::size_t b = a + 1; b < columns.size(); ++b) {
+        std::vector<Tid> tids;
+        tids.reserve(
+            std::min(columns[a].tids.size(), columns[b].tids.size()));
+        std::set_intersection(columns[a].tids.begin(), columns[a].tids.end(),
+                              columns[b].tids.begin(), columns[b].tids.end(),
+                              std::back_inserter(tids));
+        if (tids.size() >= min_support_) {
+          next.push_back(Column{columns[b].item, std::move(tids)});
+        }
+      }
+      if (!next.empty()) Mine(next, prefix);
+      prefix->pop_back();
+    }
+  }
+
+ private:
+  const Support min_support_;
+  const ClosedSetCallback& callback_;
+};
+
+}  // namespace
+
+Status MineFrequentEclat(const TransactionDatabase& db,
+                         const EclatOptions& options,
+                         const ClosedSetCallback& callback) {
+  if (options.min_support == 0) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  if (db.NumTransactions() == 0) return Status::OK();
+
+  const Recoding recoding = ComputeRecoding(
+      db, ItemOrder::kFrequencyAscending, options.min_support);
+  const TransactionDatabase coded =
+      ApplyRecoding(db, recoding, TransactionOrder::kNone);
+  if (coded.NumTransactions() == 0) return Status::OK();
+
+  auto tidlists = coded.BuildVertical();
+  std::vector<Column> columns;
+  columns.reserve(tidlists.size());
+  for (std::size_t i = 0; i < tidlists.size(); ++i) {
+    if (tidlists[i].size() >= options.min_support) {
+      columns.push_back(Column{static_cast<ItemId>(i),
+                               std::move(tidlists[i])});
+    }
+  }
+
+  const ClosedSetCallback decoded = MakeDecodingCallback(recoding, callback);
+  EclatMiner miner(options.min_support, decoded);
+  std::vector<ItemId> prefix;
+  miner.Mine(columns, &prefix);
+  return Status::OK();
+}
+
+}  // namespace fim

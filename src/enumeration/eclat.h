@@ -1,0 +1,27 @@
+#ifndef FIM_ENUMERATION_ECLAT_H_
+#define FIM_ENUMERATION_ECLAT_H_
+
+#include "common/status.h"
+#include "data/itemset.h"
+#include "data/transaction_database.h"
+
+namespace fim {
+
+/// Options of the Eclat all-frequent-set miner.
+struct EclatOptions {
+  /// Absolute minimum support; must be >= 1.
+  Support min_support = 1;
+};
+
+/// Mines ALL frequent item sets (not only closed ones) with the vertical
+/// tid-set intersection scheme of Eclat (Zaki et al.). The callback
+/// receives every frequent set exactly once, items ascending. Beware:
+/// the output can be exponentially larger than the closed-set output;
+/// intended for moderate inputs, tests, and the association-rule example.
+Status MineFrequentEclat(const TransactionDatabase& db,
+                         const EclatOptions& options,
+                         const ClosedSetCallback& callback);
+
+}  // namespace fim
+
+#endif  // FIM_ENUMERATION_ECLAT_H_

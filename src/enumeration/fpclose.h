@@ -1,0 +1,28 @@
+#ifndef FIM_ENUMERATION_FPCLOSE_H_
+#define FIM_ENUMERATION_FPCLOSE_H_
+
+#include "common/status.h"
+#include "data/itemset.h"
+#include "data/transaction_database.h"
+
+namespace fim {
+
+/// Options of the FP-close baseline.
+struct FpCloseOptions {
+  /// Absolute minimum support; must be >= 1.
+  Support min_support = 1;
+};
+
+/// Closed frequent item set mining via FP-growth (the enumeration-side
+/// baseline of the paper's experiments): recursive conditional FP-tree
+/// projection with perfect-extension pruning generates the closed-set
+/// candidates {generator + perfect extensions}; a final subsumption
+/// filter (same support, proper superset) leaves exactly the closed sets.
+/// Same output contract as the intersection miners.
+Status MineClosedFpClose(const TransactionDatabase& db,
+                         const FpCloseOptions& options,
+                         const ClosedSetCallback& callback);
+
+}  // namespace fim
+
+#endif  // FIM_ENUMERATION_FPCLOSE_H_

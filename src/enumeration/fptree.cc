@@ -1,0 +1,50 @@
+#include "enumeration/fptree.h"
+
+#include <algorithm>
+
+namespace fim {
+
+FpTree::FpTree(std::size_t num_items) : headers_(num_items) {
+  nodes_.push_back(Node{kInvalidItem, 0, kNil, kNil, kNil, kNil});
+}
+
+void FpTree::Insert(std::span<const ItemId> items, Support count) {
+  if (count == 0) return;
+  total_ += count;
+  uint32_t current = 0;
+  for (ItemId item : items) {
+    headers_[item].support += count;
+    // Find the child carrying `item`.
+    uint32_t child = nodes_[current].child;
+    while (child != kNil && nodes_[child].item != item) {
+      child = nodes_[child].sibling;
+    }
+    if (child == kNil) {
+      child = static_cast<uint32_t>(nodes_.size());
+      nodes_.push_back(Node{item, 0, current, headers_[item].head,
+                            kNil, nodes_[current].child});
+      nodes_[current].child = child;
+      headers_[item].head = child;
+    }
+    nodes_[child].count += count;
+    current = child;
+  }
+}
+
+std::vector<FpTree::WeightedTransaction> FpTree::ConditionalPaths(
+    ItemId item) const {
+  std::vector<WeightedTransaction> paths;
+  for (uint32_t node = headers_[item].head; node != kNil;
+       node = nodes_[node].next) {
+    WeightedTransaction path;
+    path.count = nodes_[node].count;
+    for (uint32_t up = nodes_[node].parent; up != 0; up = nodes_[up].parent) {
+      path.items.push_back(nodes_[up].item);
+    }
+    std::reverse(path.items.begin(), path.items.end());
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+}  // namespace fim

@@ -1,0 +1,74 @@
+#ifndef FIM_ENUMERATION_FPTREE_H_
+#define FIM_ENUMERATION_FPTREE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/itemset.h"
+
+namespace fim {
+
+/// FP-tree (Han et al.): a prefix tree of transactions whose items are
+/// sorted by descending frequency (ascending item code after recoding
+/// with ItemOrder::kFrequencyDescending), with per-item header lists
+/// linking all nodes that carry the item. Substrate of the FP-close
+/// baseline miner.
+class FpTree {
+ public:
+  /// A weighted transaction (a conditional-pattern-base path).
+  struct WeightedTransaction {
+    std::vector<ItemId> items;  // ascending item codes
+    Support count = 0;
+  };
+
+  explicit FpTree(std::size_t num_items);
+
+  /// Inserts `items` (ascending codes, duplicate-free) with multiplicity
+  /// `count`, sharing prefixes with previously inserted transactions.
+  void Insert(std::span<const ItemId> items, Support count);
+
+  /// Total support of `item` in this tree.
+  Support ItemSupport(ItemId item) const { return headers_[item].support; }
+
+  std::size_t num_items() const { return headers_.size(); }
+
+  /// Sum of the counts of all inserted transactions.
+  Support TotalTransactions() const { return total_; }
+
+  /// True if no transaction was inserted.
+  bool Empty() const { return nodes_.size() == 1; }
+
+  /// Number of tree nodes including the root (diagnostics).
+  std::size_t NodeCount() const { return nodes_.size(); }
+
+  /// The conditional pattern base of `item`: for every node carrying the
+  /// item, its root path (excluding the item itself) weighted by the
+  /// node's count. Paths come out with ascending item codes.
+  std::vector<WeightedTransaction> ConditionalPaths(ItemId item) const;
+
+ private:
+  struct Node {
+    ItemId item;
+    Support count;
+    uint32_t parent;
+    uint32_t next;     // header chain
+    uint32_t child;    // first child
+    uint32_t sibling;  // next sibling
+  };
+
+  struct Header {
+    uint32_t head = static_cast<uint32_t>(-1);
+    Support support = 0;
+  };
+
+  static constexpr uint32_t kNil = static_cast<uint32_t>(-1);
+
+  std::vector<Node> nodes_;  // nodes_[0] is the root
+  std::vector<Header> headers_;
+  Support total_ = 0;
+};
+
+}  // namespace fim
+
+#endif  // FIM_ENUMERATION_FPTREE_H_

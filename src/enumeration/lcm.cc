@@ -1,0 +1,165 @@
+#include "enumeration/lcm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "data/recode.h"
+
+namespace fim {
+
+namespace {
+
+// The sequential core of the miner; parallel mode runs one instance per
+// worker over disjoint first-level subtrees (PPC extension makes the
+// subtrees independent: each closed set has a unique canonical parent).
+class LcmCore {
+ public:
+  LcmCore(const TransactionDatabase& coded, Support min_support)
+      : db_(coded),
+        tidlists_(coded.BuildVertical()),
+        min_support_(min_support) {}
+
+  const TransactionDatabase& db() const { return db_; }
+
+  // Intersection of the transactions referenced by `occ` (occ non-empty).
+  std::vector<ItemId> ComputeClosure(const std::vector<Tid>& occ) const {
+    std::vector<ItemId> closure = db_.transaction(occ.front());
+    for (std::size_t k = 1; k < occ.size() && !closure.empty(); ++k) {
+      closure = IntersectSorted(closure, db_.transaction(occ[k]));
+    }
+    return closure;
+  }
+
+  std::vector<Tid> OccurrencesOf(const std::vector<Tid>& occ,
+                                 ItemId item) const {
+    std::vector<Tid> out;
+    out.reserve(std::min(occ.size(), tidlists_[item].size()));
+    std::set_intersection(occ.begin(), occ.end(), tidlists_[item].begin(),
+                          tidlists_[item].end(), std::back_inserter(out));
+    return out;
+  }
+
+  // True if q and p contain exactly the same items below `i`.
+  static bool PrefixPreserved(const std::vector<ItemId>& p,
+                              const std::vector<ItemId>& q, ItemId i) {
+    auto pe = std::lower_bound(p.begin(), p.end(), i);
+    auto qe = std::lower_bound(q.begin(), q.end(), i);
+    return (pe - p.begin()) == (qe - q.begin()) &&
+           std::equal(p.begin(), pe, q.begin());
+  }
+
+  // Prefix-preserving closure extension below (p, occ, core): extend by
+  // every item above the core; keep an extension only if the closure
+  // agrees with p below the extension item.
+  void Extend(const std::vector<ItemId>& p, const std::vector<Tid>& occ,
+              ItemId core, const ClosedSetCallback& sink) const {
+    const std::size_t num_items = db_.NumItems();
+    const ItemId first =
+        core == kInvalidItem ? 0 : static_cast<ItemId>(core + 1);
+    for (ItemId i = first; i < num_items; ++i) {
+      if (std::binary_search(p.begin(), p.end(), i)) continue;
+      std::vector<Tid> occ_i = OccurrencesOf(occ, i);
+      if (occ_i.size() < min_support_) continue;
+      std::vector<ItemId> q = ComputeClosure(occ_i);
+      if (!PrefixPreserved(p, q, i)) continue;
+      sink(q, static_cast<Support>(occ_i.size()));
+      Extend(q, occ_i, i, sink);
+    }
+  }
+
+  Support min_support() const { return min_support_; }
+
+ private:
+  const TransactionDatabase& db_;
+  std::vector<std::vector<Tid>> tidlists_;
+  const Support min_support_;
+};
+
+// One independent first-level subtree of the parallel run.
+struct FirstLevelTask {
+  std::vector<ItemId> closed_set;
+  std::vector<Tid> occurrences;
+  ItemId core = 0;
+};
+
+void MineParallel(const LcmCore& core, const std::vector<ItemId>& root,
+                  const std::vector<Tid>& all, unsigned num_threads,
+                  const ClosedSetCallback& callback) {
+  // Materialize the first level sequentially (cheap: one pass over the
+  // items), then fan the subtrees out to the workers.
+  std::vector<FirstLevelTask> tasks;
+  const std::size_t num_items = core.db().NumItems();
+  for (ItemId i = 0; i < num_items; ++i) {
+    if (std::binary_search(root.begin(), root.end(), i)) continue;
+    std::vector<Tid> occ_i = core.OccurrencesOf(all, i);
+    if (occ_i.size() < core.min_support()) continue;
+    std::vector<ItemId> q = core.ComputeClosure(occ_i);
+    if (!LcmCore::PrefixPreserved(root, q, i)) continue;
+    tasks.push_back(FirstLevelTask{std::move(q), std::move(occ_i), i});
+  }
+
+  std::vector<std::vector<ClosedItemset>> results(tasks.size());
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t t = next.fetch_add(1);
+      if (t >= tasks.size()) return;
+      ClosedSetCollector collector;
+      const ClosedSetCallback sink = collector.AsCallback();
+      sink(tasks[t].closed_set, static_cast<Support>(
+                                    tasks[t].occurrences.size()));
+      core.Extend(tasks[t].closed_set, tasks[t].occurrences, tasks[t].core,
+                  sink);
+      results[t] = collector.TakeSets();
+    }
+  };
+  std::vector<std::thread> threads;
+  const unsigned n = std::max(1u, num_threads);
+  threads.reserve(n);
+  for (unsigned w = 0; w < n; ++w) threads.emplace_back(worker);
+  for (auto& thread : threads) thread.join();
+
+  // Emit in task order: identical to the sequential DFS order.
+  for (const auto& chunk : results) {
+    for (const auto& set : chunk) callback(set.items, set.support);
+  }
+}
+
+}  // namespace
+
+Status MineClosedLcm(const TransactionDatabase& db, const LcmOptions& options,
+                     const ClosedSetCallback& callback) {
+  if (options.min_support == 0) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  if (db.NumTransactions() == 0) return Status::OK();
+
+  const Recoding recoding = ComputeRecoding(
+      db, ItemOrder::kFrequencyDescending, options.min_support);
+  const TransactionDatabase coded =
+      ApplyRecoding(db, recoding, TransactionOrder::kNone);
+  if (coded.NumTransactions() == 0) return Status::OK();
+
+  const ClosedSetCallback decoded = MakeDecodingCallback(recoding, callback);
+  LcmCore core(coded, options.min_support);
+
+  const auto n = static_cast<Support>(coded.NumTransactions());
+  if (n < options.min_support) return Status::OK();
+  std::vector<Tid> all(coded.NumTransactions());
+  for (std::size_t k = 0; k < all.size(); ++k) all[k] = static_cast<Tid>(k);
+
+  // closure(empty set): the items contained in every transaction.
+  std::vector<ItemId> root = core.ComputeClosure(all);
+  if (!root.empty()) decoded(root, n);
+
+  if (options.num_threads <= 1) {
+    core.Extend(root, all, kInvalidItem, decoded);
+  } else {
+    MineParallel(core, root, all, options.num_threads, decoded);
+  }
+  return Status::OK();
+}
+
+}  // namespace fim

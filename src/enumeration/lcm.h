@@ -1,0 +1,31 @@
+#ifndef FIM_ENUMERATION_LCM_H_
+#define FIM_ENUMERATION_LCM_H_
+
+#include "common/status.h"
+#include "data/itemset.h"
+#include "data/transaction_database.h"
+
+namespace fim {
+
+/// Options of the LCM-style baseline.
+struct LcmOptions {
+  /// Absolute minimum support; must be >= 1.
+  Support min_support = 1;
+
+  /// Worker threads. > 1 fans the independent first-level subtrees of
+  /// the prefix-preserving extension out to a thread pool; the output
+  /// (and its order) is identical to the sequential run.
+  unsigned num_threads = 1;
+};
+
+/// Closed frequent item set mining in the style of LCM (Uno et al.):
+/// depth-first prefix-preserving closure extension. Each closed set is
+/// generated exactly once from its core prefix, so no repository or
+/// post-filter is needed and memory stays linear in the input. Same
+/// output contract as the other miners.
+Status MineClosedLcm(const TransactionDatabase& db, const LcmOptions& options,
+                     const ClosedSetCallback& callback);
+
+}  // namespace fim
+
+#endif  // FIM_ENUMERATION_LCM_H_

@@ -1,0 +1,119 @@
+#include "enumeration/transposed.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace fim {
+
+namespace {
+
+class TransposedMiner {
+ public:
+  TransposedMiner(const TransactionDatabase& db, Support min_support,
+                  const ClosedSetCallback& callback)
+      : min_support_(min_support),
+        num_tids_(static_cast<Tid>(db.NumTransactions())),
+        callback_(callback) {
+    // The transpose's transactions are the tid lists of the used items;
+    // remember which original item each corresponds to.
+    auto tidlists = db.BuildVertical();
+    for (std::size_t i = 0; i < tidlists.size(); ++i) {
+      if (!tidlists[i].empty()) {
+        used_items_.push_back(static_cast<ItemId>(i));
+        rows_.push_back(std::move(tidlists[i]));
+      }
+    }
+  }
+
+  void Run() {
+    if (rows_.empty() || num_tids_ == 0) return;
+    // closure(empty tid set) over the transpose: the tids shared by every
+    // used item's list.
+    std::vector<std::size_t> all_rows(rows_.size());
+    for (std::size_t k = 0; k < rows_.size(); ++k) all_rows[k] = k;
+    std::vector<Tid> root = IntersectRows(all_rows);
+    if (root.size() >= min_support_) Report(root, all_rows);
+    Extend(root, all_rows, /*core=*/static_cast<Tid>(-1));
+  }
+
+ private:
+  // Intersection of the tid lists selected by `rows` (non-empty input).
+  std::vector<Tid> IntersectRows(const std::vector<std::size_t>& rows) const {
+    std::vector<Tid> inter = rows_[rows.front()];
+    for (std::size_t k = 1; k < rows.size() && !inter.empty(); ++k) {
+      std::vector<Tid> next;
+      next.reserve(inter.size());
+      std::set_intersection(inter.begin(), inter.end(),
+                            rows_[rows[k]].begin(), rows_[rows[k]].end(),
+                            std::back_inserter(next));
+      inter = std::move(next);
+    }
+    return inter;
+  }
+
+  // Prefix-preserving closure extension over the tid universe. `p` is
+  // the current closed tid set, `occ` the transpose transactions (=
+  // original items) containing it.
+  void Extend(const std::vector<Tid>& p, const std::vector<std::size_t>& occ,
+              Tid core) {
+    const Tid first = core == static_cast<Tid>(-1) ? 0 : core + 1;
+    for (Tid e = first; e < num_tids_; ++e) {
+      // Size look-ahead: even taking every remaining tid cannot reach
+      // the minimum size (= original minimum support).
+      if (p.size() + (num_tids_ - e) < min_support_) break;
+      if (std::binary_search(p.begin(), p.end(), e)) continue;
+      std::vector<std::size_t> occ_e;
+      occ_e.reserve(occ.size());
+      for (std::size_t k : occ) {
+        if (std::binary_search(rows_[k].begin(), rows_[k].end(), e)) {
+          occ_e.push_back(k);
+        }
+      }
+      if (occ_e.empty()) continue;  // support over the transpose is zero
+      std::vector<Tid> q = IntersectRows(occ_e);
+      if (!PrefixPreserved(p, q, e)) continue;
+      if (q.size() >= min_support_) Report(q, occ_e);
+      Extend(q, occ_e, e);
+    }
+  }
+
+  static bool PrefixPreserved(const std::vector<Tid>& p,
+                              const std::vector<Tid>& q, Tid e) {
+    auto pe = std::lower_bound(p.begin(), p.end(), e);
+    auto qe = std::lower_bound(q.begin(), q.end(), e);
+    return (pe - p.begin()) == (qe - q.begin()) &&
+           std::equal(p.begin(), pe, q.begin());
+  }
+
+  // A closed tid set K with |K| >= smin maps back to the original closed
+  // item set g(K) = occ's items, with support |K|.
+  void Report(const std::vector<Tid>& k,
+              const std::vector<std::size_t>& occ) {
+    std::vector<ItemId> items;
+    items.reserve(occ.size());
+    for (std::size_t row : occ) items.push_back(used_items_[row]);
+    callback_(items, static_cast<Support>(k.size()));
+  }
+
+  const Support min_support_;
+  const Tid num_tids_;
+  const ClosedSetCallback& callback_;
+  std::vector<ItemId> used_items_;
+  std::vector<std::vector<Tid>> rows_;
+};
+
+}  // namespace
+
+Status MineClosedTransposed(const TransactionDatabase& db,
+                            const TransposedOptions& options,
+                            const ClosedSetCallback& callback) {
+  if (options.min_support == 0) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  if (db.NumTransactions() == 0) return Status::OK();
+  TransposedMiner miner(db, options.min_support, callback);
+  miner.Run();
+  return Status::OK();
+}
+
+}  // namespace fim

@@ -1,0 +1,60 @@
+#include "ista/incremental.h"
+
+#include <algorithm>
+
+#include "ista/prefix_tree.h"
+
+namespace fim {
+
+struct IncrementalClosedSetMiner::Impl {
+  explicit Impl(std::size_t max_items) : tree(max_items), max_items(max_items) {}
+
+  IstaPrefixTree tree;
+  std::size_t max_items;
+};
+
+IncrementalClosedSetMiner::IncrementalClosedSetMiner(std::size_t max_items)
+    : impl_(new Impl(max_items)) {}
+
+IncrementalClosedSetMiner::~IncrementalClosedSetMiner() { delete impl_; }
+
+Status IncrementalClosedSetMiner::AddTransaction(std::vector<ItemId> items) {
+  NormalizeItems(&items);
+  if (items.empty()) {
+    return Status::InvalidArgument("empty transaction");
+  }
+  if (items.back() >= impl_->max_items) {
+    return Status::OutOfRange("item id " + std::to_string(items.back()) +
+                              " exceeds the miner's item capacity");
+  }
+  impl_->tree.AddTransaction(items);
+  return Status::OK();
+}
+
+std::size_t IncrementalClosedSetMiner::NumTransactions() const {
+  return impl_->tree.StepCount();
+}
+
+Status IncrementalClosedSetMiner::Query(
+    Support min_support, const ClosedSetCallback& callback) const {
+  if (min_support == 0) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  impl_->tree.Report(min_support, callback);
+  return Status::OK();
+}
+
+Result<std::vector<ClosedItemset>> IncrementalClosedSetMiner::QueryCollect(
+    Support min_support) const {
+  ClosedSetCollector collector;
+  Status status = Query(min_support, collector.AsCallback());
+  if (!status.ok()) return status;
+  collector.SortCanonical();
+  return collector.TakeSets();
+}
+
+std::size_t IncrementalClosedSetMiner::NodeCount() const {
+  return impl_->tree.NodeCount();
+}
+
+}  // namespace fim

@@ -1,0 +1,61 @@
+#ifndef FIM_ISTA_INCREMENTAL_H_
+#define FIM_ISTA_INCREMENTAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "data/itemset.h"
+#include "data/transaction_database.h"
+
+namespace fim {
+
+/// Online/streaming closed item set mining — the natural strength of the
+/// cumulative intersection scheme: transactions arrive one at a time and
+/// the current closed sets (over everything seen so far) can be queried
+/// at any point, without re-mining from scratch.
+///
+/// Unlike the batch driver (MineClosedIsta), no global item statistics
+/// are available up front, so item codes are assigned in arrival order
+/// and the repository keeps all closed sets (min support 1 semantics
+/// internally); `min_support` only filters queries. Memory therefore
+/// grows with the number of distinct closed sets seen — bound it with
+/// the max_items capacity and by the data's structure, not by smin.
+class IncrementalClosedSetMiner {
+ public:
+  /// `max_items` is the capacity of the item universe (ids must stay
+  /// below it).
+  explicit IncrementalClosedSetMiner(std::size_t max_items);
+  ~IncrementalClosedSetMiner();
+
+  IncrementalClosedSetMiner(const IncrementalClosedSetMiner&) = delete;
+  IncrementalClosedSetMiner& operator=(const IncrementalClosedSetMiner&) =
+      delete;
+
+  /// Feeds one transaction (any order, duplicates allowed; normalized
+  /// internally). Returns InvalidArgument if an item id is out of range
+  /// or the transaction is empty after normalization.
+  Status AddTransaction(std::vector<ItemId> items);
+
+  /// Number of transactions fed so far.
+  std::size_t NumTransactions() const;
+
+  /// Reports the closed item sets with support >= min_support over all
+  /// transactions seen so far (items ascending). min_support must be
+  /// >= 1.
+  Status Query(Support min_support, const ClosedSetCallback& callback) const;
+
+  /// Convenience: collect the current closed sets in canonical order.
+  Result<std::vector<ClosedItemset>> QueryCollect(Support min_support) const;
+
+  /// Current repository size in nodes (memory diagnostics).
+  std::size_t NodeCount() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;  // plain pointer: keeps the header light, dtor defined in .cc
+};
+
+}  // namespace fim
+
+#endif  // FIM_ISTA_INCREMENTAL_H_

@@ -1,0 +1,52 @@
+#include "ista/ista.h"
+
+#include <algorithm>
+
+#include "ista/prefix_tree.h"
+
+namespace fim {
+
+Status MineClosedIsta(const TransactionDatabase& db, const IstaOptions& options,
+                      const ClosedSetCallback& callback, IstaStats* stats) {
+  if (options.min_support == 0) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  if (stats != nullptr) *stats = IstaStats{};
+  if (db.NumTransactions() == 0) return Status::OK();
+
+  // Preprocessing: assign item codes, drop items that cannot occur in any
+  // frequent set, order the transactions (paper §3.4).
+  const Support min_item_support =
+      options.item_elimination ? options.min_support : 1;
+  const Recoding recoding =
+      ComputeRecoding(db, options.item_order, min_item_support);
+  const TransactionDatabase coded =
+      ApplyRecoding(db, recoding, options.transaction_order);
+  if (coded.NumTransactions() == 0) return Status::OK();
+
+  // Remaining occurrences of each item in the unprocessed transactions,
+  // used by the item-elimination pruning of the repository.
+  std::vector<Support> remaining = coded.ItemFrequencies();
+
+  IstaPrefixTree tree(coded.NumItems());
+  std::size_t prune_threshold = options.prune_node_threshold;
+
+  for (const auto& transaction : coded.transactions()) {
+    tree.AddTransaction(transaction);
+    for (ItemId i : transaction) --remaining[i];
+    if (stats != nullptr) {
+      stats->peak_nodes = std::max(stats->peak_nodes, tree.NodeCount());
+    }
+    if (options.item_elimination && tree.NodeCount() > prune_threshold) {
+      tree.Prune(options.min_support, remaining);
+      prune_threshold = std::max(prune_threshold, 2 * tree.NodeCount());
+      if (stats != nullptr) ++stats->prune_calls;
+    }
+  }
+
+  if (stats != nullptr) stats->final_nodes = tree.NodeCount();
+  tree.Report(options.min_support, MakeDecodingCallback(recoding, callback));
+  return Status::OK();
+}
+
+}  // namespace fim

@@ -1,0 +1,53 @@
+#ifndef FIM_ISTA_ISTA_H_
+#define FIM_ISTA_ISTA_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "data/itemset.h"
+#include "data/recode.h"
+#include "data/transaction_database.h"
+
+namespace fim {
+
+/// Options of the IsTa miner (cumulative transaction intersection with a
+/// prefix-tree repository, paper §3.2-§3.4).
+struct IstaOptions {
+  /// Absolute minimum support; must be >= 1.
+  Support min_support = 1;
+
+  /// Item code assignment; the paper found ascending frequency fastest.
+  ItemOrder item_order = ItemOrder::kFrequencyAscending;
+
+  /// Transaction processing order; the paper found increasing size
+  /// fastest.
+  TransactionOrder transaction_order = TransactionOrder::kSizeAscending;
+
+  /// Item elimination (paper §3.2): drop globally infrequent items up
+  /// front and periodically remove items that can no longer reach the
+  /// minimum support from the repository. Never changes the output.
+  bool item_elimination = true;
+
+  /// Tree pruning is triggered when the node count exceeds this threshold
+  /// (the threshold then doubles). Only relevant with item_elimination.
+  std::size_t prune_node_threshold = std::size_t{1} << 16;
+};
+
+/// Execution statistics (optional output of MineClosedIsta).
+struct IstaStats {
+  std::size_t peak_nodes = 0;
+  std::size_t final_nodes = 0;
+  std::size_t prune_calls = 0;
+};
+
+/// Mines all closed frequent item sets of `db` with the IsTa algorithm
+/// and reports each exactly once through `callback` (items in ascending
+/// original ids). The empty set is never reported. Returns
+/// InvalidArgument for min_support == 0.
+Status MineClosedIsta(const TransactionDatabase& db, const IstaOptions& options,
+                      const ClosedSetCallback& callback,
+                      IstaStats* stats = nullptr);
+
+}  // namespace fim
+
+#endif  // FIM_ISTA_ISTA_H_

@@ -1,0 +1,147 @@
+#include "ista/prefix_tree.h"
+
+#include <cassert>
+
+namespace fim {
+
+IstaPrefixTree::IstaPrefixTree(std::size_t num_items)
+    : in_transaction_(num_items, 0) {
+  // Node 0 is the pseudo-root representing the empty set.
+  uint32_t root = NewNode(kInvalidItem, 0, 0);
+  (void)root;
+  assert(root == kRoot);
+  node_count_ = 0;  // the root does not count
+}
+
+uint32_t IstaPrefixTree::NewNode(ItemId item, uint32_t step, Support supp) {
+  if ((next_index_ & (kChunkSize - 1)) == 0 &&
+      (next_index_ >> kChunkShift) == chunks_.size()) {
+    chunks_.emplace_back();
+    chunks_.back().reserve(kChunkSize);
+  }
+  uint32_t index = next_index_++;
+  chunks_[index >> kChunkShift].push_back(
+      Node{step, item, supp, kNil, kNil});
+  ++node_count_;
+  return index;
+}
+
+uint32_t IstaPrefixTree::FindOrCreateChild(uint32_t parent, ItemId item,
+                                           Support supp) {
+  // Sibling lists are sorted by descending item code.
+  uint32_t* link = &At(parent).children;
+  while (*link != kNil && At(*link).item > item) link = &At(*link).sibling;
+  if (*link != kNil && At(*link).item == item) return *link;
+  uint32_t node = NewNode(item, 0, supp);
+  At(node).sibling = *link;
+  *link = node;
+  return node;
+}
+
+void IstaPrefixTree::InsertTransactionPath(std::span<const ItemId> items) {
+  uint32_t current = kRoot;
+  for (std::size_t idx = items.size(); idx > 0; --idx) {
+    current = FindOrCreateChild(current, items[idx - 1], 0);
+  }
+}
+
+void IstaPrefixTree::AddTransaction(std::span<const ItemId> items) {
+  assert(!items.empty());
+  ++step_;
+  for (ItemId i : items) in_transaction_[i] = 1;
+  imin_ = items.front();
+  InsertTransactionPath(items);
+  Isect(At(kRoot).children, &At(kRoot).children);
+  for (ItemId i : items) in_transaction_[i] = 0;
+}
+
+void IstaPrefixTree::Isect(uint32_t node, uint32_t* ins) {
+  while (node != kNil) {
+    const ItemId i = At(node).item;
+    if (in_transaction_[i]) {
+      // The item is in the intersection: find/create the node that
+      // represents the extended intersection in the insertion list.
+      while (*ins != kNil && At(*ins).item > i) ins = &At(*ins).sibling;
+      uint32_t d = *ins;
+      if (d != kNil && At(d).item == i) {
+        Node& dn = At(d);
+        // If this node was already updated for the current transaction,
+        // discount it before taking the maximum (Figure 2).
+        if (dn.step == step_) --dn.supp;
+        if (dn.supp < At(node).supp) dn.supp = At(node).supp;
+        ++dn.supp;
+        dn.step = step_;
+      } else {
+        d = NewNode(i, step_, At(node).supp + 1);
+        At(d).sibling = *ins;
+        *ins = d;
+      }
+      if (i <= imin_) return;  // nothing below the transaction's minimum
+      Isect(At(node).children, &At(d).children);
+    } else {
+      if (i <= imin_) return;
+      Isect(At(node).children, ins);
+    }
+    node = At(node).sibling;
+  }
+}
+
+void IstaPrefixTree::Report(Support min_support,
+                            const ClosedSetCallback& callback) const {
+  std::vector<ItemId> path;
+  for (uint32_t c = At(kRoot).children; c != kNil; c = At(c).sibling) {
+    if (At(c).supp < min_support) continue;
+    path.push_back(At(c).item);
+    ReportNode(c, min_support, &path, callback);
+    path.pop_back();
+  }
+}
+
+void IstaPrefixTree::ReportNode(uint32_t node, Support min_support,
+                                std::vector<ItemId>* path,
+                                const ClosedSetCallback& callback) const {
+  Support max_child = 0;
+  for (uint32_t c = At(node).children; c != kNil; c = At(c).sibling) {
+    const Support cs = At(c).supp;
+    if (cs > max_child) max_child = cs;
+    if (cs < min_support) continue;
+    path->push_back(At(c).item);
+    ReportNode(c, min_support, path, callback);
+    path->pop_back();
+  }
+  if (At(node).supp > max_child) {
+    // The path is in descending code order; report ascending.
+    std::vector<ItemId> ascending(path->rbegin(), path->rend());
+    callback(ascending, At(node).supp);
+  }
+}
+
+void IstaPrefixTree::Prune(Support min_support,
+                           std::span<const Support> remaining) {
+  IstaPrefixTree fresh(in_transaction_.size());
+  fresh.step_ = step_;
+  PruneInto(At(kRoot).children, min_support, remaining, &fresh, kRoot);
+  *this = std::move(fresh);
+}
+
+void IstaPrefixTree::PruneInto(uint32_t node, Support min_support,
+                               std::span<const Support> remaining,
+                               IstaPrefixTree* target, uint32_t cursor) const {
+  for (; node != kNil; node = At(node).sibling) {
+    const Node& n = At(node);
+    uint32_t next_cursor = cursor;
+    if (n.supp + remaining[n.item] >= min_support) {
+      // The item can still contribute to a frequent set: keep it.
+      next_cursor = target->FindOrCreateChild(cursor, n.item, 0);
+      Node& t = target->At(next_cursor);
+      if (n.supp > t.supp) t.supp = n.supp;
+    } else if (cursor != kRoot) {
+      // Drop the item; the reduced set keeps the best support seen.
+      Node& t = target->At(cursor);
+      if (n.supp > t.supp) t.supp = n.supp;
+    }
+    PruneInto(n.children, min_support, remaining, target, next_cursor);
+  }
+}
+
+}  // namespace fim

@@ -1,0 +1,121 @@
+#ifndef FIM_ISTA_PREFIX_TREE_H_
+#define FIM_ISTA_PREFIX_TREE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/itemset.h"
+
+namespace fim {
+
+/// The prefix-tree repository of closed item sets at the heart of IsTa
+/// (paper §3.3). Each node represents the item set formed by the items on
+/// its root path; sibling lists are ordered by descending item code and
+/// children carry lower codes than their parent, so every set is stored
+/// along exactly one path. `AddTransaction` implements the combined
+/// "insert transaction + merge all intersections" recursion of Figure 2,
+/// using a per-node step stamp to keep supports correct when several
+/// stored sets intersect the new transaction to the same result.
+///
+/// Item codes must be < num_items; for the performance characteristics of
+/// the paper, assign codes ascending by frequency (see recode.h) before
+/// feeding transactions.
+class IstaPrefixTree {
+ public:
+  explicit IstaPrefixTree(std::size_t num_items);
+
+  // The tree owns bulk node storage; moving is fine, copying is not
+  // meaningful for a mining-in-progress structure.
+  IstaPrefixTree(const IstaPrefixTree&) = delete;
+  IstaPrefixTree& operator=(const IstaPrefixTree&) = delete;
+  IstaPrefixTree(IstaPrefixTree&&) = default;
+  IstaPrefixTree& operator=(IstaPrefixTree&&) = default;
+
+  /// Processes one transaction: adds it to the repository and creates or
+  /// updates every intersection with a stored set. `items` must be sorted
+  /// ascending and duplicate-free, non-empty, all < num_items.
+  void AddTransaction(std::span<const ItemId> items);
+
+  /// Reports every stored set with support >= min_support whose support
+  /// exceeds the support of all its direct children (the closedness check
+  /// of Figure 4). Items are passed to the callback in ascending order.
+  void Report(Support min_support, const ClosedSetCallback& callback) const;
+
+  /// Item-elimination pruning (paper §3.2): rebuilds the tree, removing
+  /// item i from every stored set whose node support s satisfies
+  /// s + remaining[i] < min_support, where remaining[i] is the number of
+  /// occurrences of i in the not-yet-processed transactions. Reduced sets
+  /// are merged with max support. Never changes the reported frequent
+  /// closed sets.
+  void Prune(Support min_support, std::span<const Support> remaining);
+
+  /// Number of live nodes (excluding the pseudo-root).
+  std::size_t NodeCount() const { return node_count_; }
+
+  /// Number of transactions processed so far.
+  std::size_t StepCount() const { return step_; }
+
+ private:
+  struct Node {
+    uint32_t step;      // last update step (0 = never)
+    ItemId item;        // item of this node (kInvalidItem for the root)
+    Support supp;       // support of the set on the root path
+    uint32_t sibling;   // next node in the sibling list (descending items)
+    uint32_t children;  // head of the child list
+  };
+
+  static constexpr uint32_t kNil = static_cast<uint32_t>(-1);
+  static constexpr uint32_t kRoot = 0;
+  static constexpr std::size_t kChunkShift = 16;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+
+  Node& At(uint32_t index) {
+    return chunks_[index >> kChunkShift][index & (kChunkSize - 1)];
+  }
+  const Node& At(uint32_t index) const {
+    return chunks_[index >> kChunkShift][index & (kChunkSize - 1)];
+  }
+
+  /// Allocates a node; node addresses are stable (chunked storage), so
+  /// uint32_t* links into nodes survive allocation.
+  uint32_t NewNode(ItemId item, uint32_t step, Support supp);
+
+  /// Inserts the transaction as a path (descending item codes), creating
+  /// missing nodes with support 0. Returns nothing; supports are brought
+  /// up to date by the subsequent Isect pass.
+  void InsertTransactionPath(std::span<const ItemId> items);
+
+  /// The recursion of Figure 2. `node` heads a sibling list of the
+  /// current tree level; `ins` points at the link (children/sibling slot)
+  /// where intersection results for the current prefix are merged.
+  void Isect(uint32_t node, uint32_t* ins);
+
+  /// Recursive helper of Report; `path` holds the items from the root in
+  /// descending code order.
+  void ReportNode(uint32_t node, Support min_support,
+                  std::vector<ItemId>* path,
+                  const ClosedSetCallback& callback) const;
+
+  /// Prune helper: re-inserts the filtered sets of the subtree headed by
+  /// `node` into `target`, with `cursor` the target node representing the
+  /// filtered path so far.
+  void PruneInto(uint32_t node, Support min_support,
+                 std::span<const Support> remaining, IstaPrefixTree* target,
+                 uint32_t cursor) const;
+
+  /// Finds or creates the child of `parent` carrying `item`; keeps the
+  /// sibling list sorted by descending item code.
+  uint32_t FindOrCreateChild(uint32_t parent, ItemId item, Support supp);
+
+  std::vector<std::vector<Node>> chunks_;
+  uint32_t next_index_ = 0;
+  std::size_t node_count_ = 0;
+  uint32_t step_ = 0;
+  std::vector<uint8_t> in_transaction_;  // flag array `trans` of Figure 2
+  ItemId imin_ = 0;                      // minimum item of the transaction
+};
+
+}  // namespace fim
+
+#endif  // FIM_ISTA_PREFIX_TREE_H_

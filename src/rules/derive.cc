@@ -1,0 +1,72 @@
+#include "rules/derive.h"
+
+#include <algorithm>
+
+namespace fim {
+
+std::vector<ClosedItemset> FilterMaximal(std::vector<ClosedItemset> closed) {
+  // Larger sets first: a set can only be subsumed by a strictly larger one.
+  std::sort(closed.begin(), closed.end(),
+            [](const ClosedItemset& a, const ClosedItemset& b) {
+              return a.items.size() > b.items.size();
+            });
+  std::vector<ClosedItemset> maximal;
+  for (auto& candidate : closed) {
+    bool subsumed = false;
+    for (const auto& kept : maximal) {
+      if (kept.items.size() > candidate.items.size() &&
+          IsSubsetSorted(candidate.items, kept.items)) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (!subsumed) maximal.push_back(std::move(candidate));
+  }
+  std::sort(maximal.begin(), maximal.end(), ClosedItemsetLess);
+  return maximal;
+}
+
+namespace {
+
+// Depth-first enumeration of the frequent sets: extend the current set
+// by items above the last one; a set is frequent iff the index reports a
+// non-zero reconstructed support.
+Status Expand(const ClosedSetIndex& index, const std::vector<ItemId>& items,
+              std::vector<ItemId>* current, std::size_t next_index,
+              std::size_t max_sets, std::vector<ClosedItemset>* out) {
+  for (std::size_t k = next_index; k < items.size(); ++k) {
+    current->push_back(items[k]);
+    const Support support = index.SupportOf(*current);
+    if (support > 0) {
+      if (out->size() >= max_sets) {
+        return Status::OutOfRange("frequent-set expansion exceeds max_sets");
+      }
+      out->push_back(ClosedItemset{*current, support});
+      Status status = Expand(index, items, current, k + 1, max_sets, out);
+      if (!status.ok()) return status;
+    }
+    current->pop_back();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<ClosedItemset>> ExpandToAllFrequent(
+    const ClosedSetIndex& index, std::size_t max_sets) {
+  // The item universe is the union of the closed sets' items.
+  std::vector<ItemId> items;
+  for (const auto& set : index.closed_sets()) {
+    items.insert(items.end(), set.items.begin(), set.items.end());
+  }
+  NormalizeItems(&items);
+
+  std::vector<ClosedItemset> out;
+  std::vector<ItemId> current;
+  Status status = Expand(index, items, &current, 0, max_sets, &out);
+  if (!status.ok()) return status;
+  std::sort(out.begin(), out.end(), ClosedItemsetLess);
+  return out;
+}
+
+}  // namespace fim

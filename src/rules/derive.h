@@ -1,0 +1,30 @@
+#ifndef FIM_RULES_DERIVE_H_
+#define FIM_RULES_DERIVE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/itemset.h"
+#include "rules/rules.h"
+
+namespace fim {
+
+/// Derives the maximal frequent item sets (§2.3) from the closed ones:
+/// a maximal frequent set has no frequent proper superset, and every
+/// maximal set is closed, so the maximal sets are exactly the closed
+/// sets that are not properly contained in another closed set.
+/// Input need not be sorted; output is in canonical order.
+std::vector<ClosedItemset> FilterMaximal(std::vector<ClosedItemset> closed);
+
+/// Reconstructs ALL frequent item sets with their supports from the
+/// closed sets alone (§2.3: the support of a frequent set is the maximum
+/// support of a closed superset). The expansion can be exponentially
+/// larger than the closed representation, so it aborts with OutOfRange
+/// once more than `max_sets` sets have been produced. Output is in
+/// canonical order.
+Result<std::vector<ClosedItemset>> ExpandToAllFrequent(
+    const ClosedSetIndex& index, std::size_t max_sets = 1u << 20);
+
+}  // namespace fim
+
+#endif  // FIM_RULES_DERIVE_H_

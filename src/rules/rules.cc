@@ -1,0 +1,77 @@
+#include "rules/rules.h"
+
+#include <algorithm>
+
+namespace fim {
+
+ClosedSetIndex::ClosedSetIndex(std::vector<ClosedItemset> closed_sets)
+    : sets_(std::move(closed_sets)) {
+  for (const auto& set : sets_) {
+    for (ItemId i : set.items) {
+      num_items_ = std::max(num_items_, static_cast<std::size_t>(i) + 1);
+    }
+  }
+  by_item_.resize(num_items_);
+  for (std::size_t s = 0; s < sets_.size(); ++s) {
+    for (ItemId i : sets_[s].items) by_item_[i].push_back(s);
+  }
+}
+
+Support ClosedSetIndex::SupportOf(std::span<const ItemId> items) const {
+  Support best = 0;
+  if (items.empty()) {
+    for (const auto& set : sets_) best = std::max(best, set.support);
+    return best;
+  }
+  // Scan only the sets containing the rarest item of the query.
+  const std::vector<std::size_t>* shortest = nullptr;
+  for (ItemId i : items) {
+    if (i >= num_items_) return 0;
+    if (shortest == nullptr || by_item_[i].size() < shortest->size()) {
+      shortest = &by_item_[i];
+    }
+  }
+  for (std::size_t s : *shortest) {
+    const ClosedItemset& set = sets_[s];
+    if (set.support > best && IsSubsetSorted(items, set.items)) {
+      best = set.support;
+    }
+  }
+  return best;
+}
+
+std::vector<AssociationRule> GenerateRules(const ClosedSetIndex& index,
+                                           std::size_t num_transactions,
+                                           const RuleOptions& options) {
+  std::vector<AssociationRule> rules;
+  if (num_transactions == 0) return rules;
+  for (const auto& set : index.closed_sets()) {
+    if (set.items.size() < 2 || set.items.size() > options.max_itemset_size) {
+      continue;
+    }
+    for (std::size_t skip = 0; skip < set.items.size(); ++skip) {
+      AssociationRule rule;
+      rule.consequent = {set.items[skip]};
+      rule.antecedent.reserve(set.items.size() - 1);
+      for (std::size_t i = 0; i < set.items.size(); ++i) {
+        if (i != skip) rule.antecedent.push_back(set.items[i]);
+      }
+      rule.support = set.support;
+      rule.antecedent_support = index.SupportOf(rule.antecedent);
+      if (rule.antecedent_support == 0) continue;
+      rule.confidence = static_cast<double>(rule.support) /
+                        static_cast<double>(rule.antecedent_support);
+      if (rule.confidence < options.min_confidence) continue;
+      const Support consequent_support = index.SupportOf(rule.consequent);
+      if (consequent_support > 0) {
+        rule.lift = rule.confidence /
+                    (static_cast<double>(consequent_support) /
+                     static_cast<double>(num_transactions));
+      }
+      rules.push_back(std::move(rule));
+    }
+  }
+  return rules;
+}
+
+}  // namespace fim

@@ -1,0 +1,60 @@
+#ifndef FIM_RULES_RULES_H_
+#define FIM_RULES_RULES_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/itemset.h"
+
+namespace fim {
+
+/// An association rule antecedent => consequent.
+struct AssociationRule {
+  std::vector<ItemId> antecedent;
+  std::vector<ItemId> consequent;
+  Support support = 0;             // support of antecedent + consequent
+  Support antecedent_support = 0;  // support of the antecedent alone
+  double confidence = 0.0;         // support / antecedent_support
+  double lift = 0.0;               // confidence / relative consequent supp
+};
+
+/// Support reconstruction from closed sets (§2.3): the support of any
+/// frequent item set equals the maximum support over the closed sets
+/// containing it.
+class ClosedSetIndex {
+ public:
+  /// Builds an index over mined closed sets (copied).
+  explicit ClosedSetIndex(std::vector<ClosedItemset> closed_sets);
+
+  /// Support of `items`: the maximum support of a closed superset, or 0
+  /// if no closed frequent superset exists (the set is infrequent w.r.t.
+  /// the mining threshold). The empty set yields the maximum stored
+  /// support (a lower bound of the transaction count).
+  Support SupportOf(std::span<const ItemId> items) const;
+
+  const std::vector<ClosedItemset>& closed_sets() const { return sets_; }
+
+ private:
+  std::vector<ClosedItemset> sets_;
+  std::vector<std::vector<std::size_t>> by_item_;  // sets containing item
+  std::size_t num_items_ = 0;
+};
+
+/// Options of the rule generator.
+struct RuleOptions {
+  double min_confidence = 0.8;
+  /// Only closed sets up to this size spawn rules (the number of
+  /// candidate rules grows with set size).
+  std::size_t max_itemset_size = 12;
+};
+
+/// Generates single-consequent association rules (Z \ {i}) => {i} from
+/// every mined closed set Z, with supports reconstructed through the
+/// closed-set index. `num_transactions` is needed for lift.
+std::vector<AssociationRule> GenerateRules(const ClosedSetIndex& index,
+                                           std::size_t num_transactions,
+                                           const RuleOptions& options);
+
+}  // namespace fim
+
+#endif  // FIM_RULES_RULES_H_

@@ -1,0 +1,28 @@
+#ifndef FIM_VERIFY_CLOSEDNESS_H_
+#define FIM_VERIFY_CLOSEDNESS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/itemset.h"
+#include "data/transaction_database.h"
+
+namespace fim {
+
+/// Soundness check: verifies that every reported set (a) has the claimed
+/// support (by direct counting), (b) meets the minimum support, and
+/// (c) is closed, i.e. no single-item extension has the same support
+/// (equivalently, the set equals the intersection of its cover, §2.4).
+/// Returns the first violation found. O(|sets| * db size); for tests.
+Status VerifyClosedSets(const TransactionDatabase& db,
+                        const std::vector<ClosedItemset>& sets,
+                        Support min_support);
+
+/// Computes the closure of `items` (intersection of all transactions
+/// containing it). Returns an empty vector if the cover is empty.
+std::vector<ItemId> Closure(const TransactionDatabase& db,
+                            std::span<const ItemId> items);
+
+}  // namespace fim
+
+#endif  // FIM_VERIFY_CLOSEDNESS_H_

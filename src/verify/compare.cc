@@ -1,0 +1,52 @@
+#include "verify/compare.h"
+
+#include <algorithm>
+
+namespace fim {
+
+namespace {
+
+std::string Render(const ClosedItemset& set) {
+  return ItemsToString(set.items) + " supp " + std::to_string(set.support);
+}
+
+}  // namespace
+
+bool SameResults(std::vector<ClosedItemset> a, std::vector<ClosedItemset> b) {
+  std::sort(a.begin(), a.end(), ClosedItemsetLess);
+  std::sort(b.begin(), b.end(), ClosedItemsetLess);
+  return a == b;
+}
+
+std::string DiffResults(std::vector<ClosedItemset> a,
+                        std::vector<ClosedItemset> b, std::size_t max_lines) {
+  std::sort(a.begin(), a.end(), ClosedItemsetLess);
+  std::sort(b.begin(), b.end(), ClosedItemsetLess);
+  std::string out;
+  std::size_t lines = 0;
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  auto emit = [&](const std::string& line) {
+    if (lines < max_lines) out += line + "\n";
+    ++lines;
+  };
+  while (ia < a.size() || ib < b.size()) {
+    if (ib >= b.size() ||
+        (ia < a.size() && ClosedItemsetLess(a[ia], b[ib]))) {
+      emit("only in A: " + Render(a[ia]));
+      ++ia;
+    } else if (ia >= a.size() || ClosedItemsetLess(b[ib], a[ia])) {
+      emit("only in B: " + Render(b[ib]));
+      ++ib;
+    } else {
+      ++ia;
+      ++ib;
+    }
+  }
+  if (lines > max_lines) {
+    out += "... (" + std::to_string(lines - max_lines) + " more)\n";
+  }
+  return out;
+}
+
+}  // namespace fim

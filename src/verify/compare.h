@@ -1,0 +1,23 @@
+#ifndef FIM_VERIFY_COMPARE_H_
+#define FIM_VERIFY_COMPARE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/itemset.h"
+
+namespace fim {
+
+/// Sorts both result vectors into canonical order and compares them.
+bool SameResults(std::vector<ClosedItemset> a, std::vector<ClosedItemset> b);
+
+/// Human-readable diff of two result vectors (canonicalized first):
+/// empty string when equal, otherwise up to `max_lines` difference lines
+/// ("only in A: {...} supp 4", ...). For test failure messages.
+std::string DiffResults(std::vector<ClosedItemset> a,
+                        std::vector<ClosedItemset> b,
+                        std::size_t max_lines = 10);
+
+}  // namespace fim
+
+#endif  // FIM_VERIFY_COMPARE_H_

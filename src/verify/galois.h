@@ -1,0 +1,39 @@
+#ifndef FIM_VERIFY_GALOIS_H_
+#define FIM_VERIFY_GALOIS_H_
+
+#include <vector>
+
+#include "data/itemset.h"
+#include "data/transaction_database.h"
+
+namespace fim {
+
+/// The Galois connection of §2.5 between item sets and transaction index
+/// sets:
+///   f : 2^B -> 2^{0..n-1},  I |-> cover(I)   (transactions containing I)
+///   g : 2^{0..n-1} -> 2^B,  K |-> intersection of the transactions in K
+/// f o g and g o f are closure operators; restricted to their fixpoints,
+/// f is a bijection whose inverse is g. The tests exercise exactly these
+/// laws; the miners' correctness rests on them.
+
+/// f: the cover of `items` (ascending tids). The empty item set maps to
+/// all transaction indices.
+std::vector<Tid> CoverOf(const TransactionDatabase& db,
+                         std::span<const ItemId> items);
+
+/// g: the intersection of the transactions selected by `tids` (ascending
+/// items). The empty tid set maps to the full item base.
+std::vector<ItemId> IntersectionOf(const TransactionDatabase& db,
+                                   std::span<const Tid> tids);
+
+/// The closure operator f o g on item sets: g(f(I)).
+std::vector<ItemId> ItemClosure(const TransactionDatabase& db,
+                                std::span<const ItemId> items);
+
+/// The closure operator g o f on tid sets: f(g(K)).
+std::vector<Tid> TidClosure(const TransactionDatabase& db,
+                            std::span<const Tid> tids);
+
+}  // namespace fim
+
+#endif  // FIM_VERIFY_GALOIS_H_

@@ -1,0 +1,25 @@
+#ifndef FIM_VERIFY_ORACLE_H_
+#define FIM_VERIFY_ORACLE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/itemset.h"
+#include "data/transaction_database.h"
+
+namespace fim {
+
+/// Exact reference miner based directly on the characterization of §2.4:
+/// the closed item sets are exactly the intersections of the non-empty
+/// subsets of the transactions; the support of each is its cover size
+/// over the full database. Enumerates all 2^n - 1 subsets, so it requires
+/// NumTransactions() <= kOracleMaxTransactions. The empty set is never
+/// reported (library-wide convention). Output is in canonical order.
+inline constexpr std::size_t kOracleMaxTransactions = 16;
+
+Result<std::vector<ClosedItemset>> OracleClosedSets(
+    const TransactionDatabase& db, Support min_support);
+
+}  // namespace fim
+
+#endif  // FIM_VERIFY_ORACLE_H_

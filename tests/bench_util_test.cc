@@ -1,0 +1,82 @@
+// Tests of the benchmark sweep harness itself: DNF skipping, per-support
+// count agreement, CSV output, and flag parsing.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "bench_util.h"
+#include "data/generators.h"
+
+namespace fim::bench {
+namespace {
+
+TEST(BenchUtilTest, RunsAllCellsAndCountsAgree) {
+  const TransactionDatabase db = GenerateRandomDense(10, 8, 0.4, 5);
+  SweepOptions options;
+  options.algorithms = {Algorithm::kIsta, Algorithm::kLcm};
+  options.supports = {4, 2, 1};
+  options.point_time_limit_seconds = 60.0;
+  const SweepResult result = RunSweep(db, options);
+  ASSERT_EQ(result.points.size(), 6u);
+  for (Support smin : options.supports) {
+    const SweepPoint* a = result.Find(Algorithm::kIsta, smin);
+    const SweepPoint* b = result.Find(Algorithm::kLcm, smin);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_TRUE(a->ran);
+    EXPECT_TRUE(b->ran);
+    EXPECT_EQ(a->num_sets, b->num_sets) << "smin " << smin;
+  }
+}
+
+TEST(BenchUtilTest, ZeroBudgetSkipsAfterFirstPoint) {
+  const TransactionDatabase db = GenerateRandomDense(10, 8, 0.4, 6);
+  SweepOptions options;
+  options.algorithms = {Algorithm::kIsta};
+  options.supports = {4, 2, 1};
+  options.point_time_limit_seconds = 0.0;  // everything exceeds 0 seconds
+  const SweepResult result = RunSweep(db, options);
+  EXPECT_TRUE(result.Find(Algorithm::kIsta, 4)->ran);
+  EXPECT_FALSE(result.Find(Algorithm::kIsta, 2)->ran);
+  EXPECT_FALSE(result.Find(Algorithm::kIsta, 1)->ran);
+}
+
+TEST(BenchUtilTest, CsvOutput) {
+  const TransactionDatabase db = GenerateRandomDense(6, 5, 0.5, 7);
+  SweepOptions options;
+  options.algorithms = {Algorithm::kIsta};
+  options.supports = {2};
+  const SweepResult result = RunSweep(db, options);
+  const std::string path = ::testing::TempDir() + "/sweep.csv";
+  WriteCsv(path, result);
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "algorithm,min_support,seconds,num_sets,ran");
+  std::string row;
+  std::getline(in, row);
+  EXPECT_EQ(row.rfind("ista,2,", 0), 0u);
+}
+
+TEST(BenchUtilTest, ParseBenchArgs) {
+  const char* argv[] = {"prog", "--scale=0.5", "--limit=12",
+                        "--csv=/tmp/x.csv", "--junk"};
+  BenchArgs args = ParseBenchArgs(5, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(args.scale, 0.5);
+  EXPECT_DOUBLE_EQ(args.limit, 12.0);
+  EXPECT_EQ(args.csv_path, "/tmp/x.csv");
+
+  const char* argv2[] = {"prog", "--full"};
+  BenchArgs full = ParseBenchArgs(2, const_cast<char**>(argv2));
+  EXPECT_DOUBLE_EQ(full.scale, 1.0);
+
+  BenchArgs defaults = ParseBenchArgs(1, const_cast<char**>(argv2));
+  EXPECT_LT(defaults.scale, 0.0);
+  EXPECT_LT(defaults.limit, 0.0);
+  EXPECT_TRUE(defaults.csv_path.empty());
+}
+
+}  // namespace
+}  // namespace fim::bench

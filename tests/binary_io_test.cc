@@ -1,0 +1,90 @@
+// Unit tests of the FIMB binary database format.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "data/binary_io.h"
+#include "data/fimi_io.h"
+#include "data/generators.h"
+
+namespace fim {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(BinaryIoTest, RoundTrip) {
+  const TransactionDatabase db = GenerateRandomDense(50, 40, 0.2, 99);
+  const std::string path = TempPath("roundtrip.fimb");
+  ASSERT_TRUE(WriteBinaryFile(db, path).ok());
+  auto back = ReadBinaryFile(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().transactions(), db.transactions());
+  EXPECT_EQ(back.value().NumItems(), db.NumItems());
+}
+
+TEST(BinaryIoTest, PreservesDeclaredItemBase) {
+  TransactionDatabase db = TransactionDatabase::FromTransactions({{1}});
+  db.SetNumItems(100);  // declared larger than any occurring item
+  const std::string path = TempPath("itembase.fimb");
+  ASSERT_TRUE(WriteBinaryFile(db, path).ok());
+  auto back = ReadBinaryFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().NumItems(), 100u);
+}
+
+TEST(BinaryIoTest, RejectsNonBinaryFile) {
+  const std::string path = TempPath("not_binary.txt");
+  {
+    std::ofstream out(path);
+    out << "1 2 3\n";
+  }
+  auto result = ReadBinaryFile(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BinaryIoTest, RejectsTruncatedFile) {
+  const TransactionDatabase db = TransactionDatabase::FromTransactions(
+      {{0, 1, 2}, {3, 4}});
+  const std::string path = TempPath("truncated.fimb");
+  ASSERT_TRUE(WriteBinaryFile(db, path).ok());
+  // Chop the last bytes off.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() - 5));
+  }
+  EXPECT_FALSE(ReadBinaryFile(path).ok());
+}
+
+TEST(BinaryIoTest, AutoDetectDispatch) {
+  const TransactionDatabase db = TransactionDatabase::FromTransactions(
+      {{0, 2}, {1, 2}});
+  const std::string binary = TempPath("auto.fimb");
+  const std::string text = TempPath("auto.fimi");
+  ASSERT_TRUE(WriteBinaryFile(db, binary).ok());
+  ASSERT_TRUE(WriteFimiFile(db, text).ok());
+  auto from_binary = ReadDatabaseFile(binary);
+  auto from_text = ReadDatabaseFile(text);
+  ASSERT_TRUE(from_binary.ok());
+  ASSERT_TRUE(from_text.ok());
+  EXPECT_EQ(from_binary.value().transactions(), db.transactions());
+  EXPECT_EQ(from_text.value().transactions(), db.transactions());
+}
+
+TEST(BinaryIoTest, MissingFile) {
+  EXPECT_EQ(ReadBinaryFile("/no/such.fimb").status().code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(ReadDatabaseFile("/no/such.fimb").status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace fim

@@ -1,0 +1,93 @@
+// Dedicated Cobbler tests: the row->column switch-over must produce the
+// oracle's exact output wherever the switch happens — never (pure
+// Carpenter), at the root (pure column mining), or anywhere in between.
+
+#include <gtest/gtest.h>
+
+#include "carpenter/cobbler.h"
+#include "data/generators.h"
+#include "verify/compare.h"
+#include "verify/oracle.h"
+
+namespace fim {
+namespace {
+
+std::vector<ClosedItemset> MineCobbler(const TransactionDatabase& db,
+                                       Support smin,
+                                       std::size_t switch_max_items,
+                                       std::size_t switch_min_rows) {
+  CobblerOptions options;
+  options.min_support = smin;
+  options.switch_max_items = switch_max_items;
+  options.switch_min_rows = switch_min_rows;
+  ClosedSetCollector collector;
+  EXPECT_TRUE(MineClosedCobbler(db, options, collector.AsCallback()).ok());
+  collector.SortCanonical();
+  return collector.TakeSets();
+}
+
+TEST(CobblerTest, AllSwitchThresholdsMatchOracle) {
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    const TransactionDatabase db =
+        GenerateRandomDense(12, 14, 0.45, seed * 907);
+    for (Support smin : {1u, 2u, 4u}) {
+      auto expected = OracleClosedSets(db, smin);
+      ASSERT_TRUE(expected.ok());
+      // switch_max_items: 0 = never switch; 3/6 = switch mid-recursion
+      // once intersections shrink; 1000 = switch at the root.
+      for (std::size_t max_items : {0u, 3u, 6u, 1000u}) {
+        for (std::size_t min_rows : {1u, 6u}) {
+          const auto mined =
+              MineCobbler(db, smin, max_items, min_rows);
+          ASSERT_TRUE(SameResults(expected.value(), mined))
+              << "seed " << seed << " smin " << smin << " max_items "
+              << max_items << " min_rows " << min_rows << "\n"
+              << DiffResults(expected.value(), mined);
+        }
+      }
+    }
+  }
+}
+
+TEST(CobblerTest, EliminationOnOffAgree) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const TransactionDatabase db =
+        GenerateRandomDense(10, 10, 0.5, seed * 311);
+    for (Support smin : {2u, 3u}) {
+      CobblerOptions on;
+      on.min_support = smin;
+      on.switch_max_items = 4;
+      CobblerOptions off = on;
+      off.item_elimination = false;
+      ClosedSetCollector a;
+      ClosedSetCollector b;
+      ASSERT_TRUE(MineClosedCobbler(db, on, a.AsCallback()).ok());
+      ASSERT_TRUE(MineClosedCobbler(db, off, b.AsCallback()).ok());
+      EXPECT_TRUE(SameResults(a.sets(), b.sets()))
+          << DiffResults(a.sets(), b.sets());
+    }
+  }
+}
+
+TEST(CobblerTest, StatsReported) {
+  const TransactionDatabase db = GenerateRandomDense(12, 10, 0.5, 999);
+  CobblerOptions options;
+  options.min_support = 2;
+  options.switch_max_items = 4;
+  CarpenterStats stats;
+  ASSERT_TRUE(
+      MineClosedCobbler(db, options, [](auto, auto) {}, &stats).ok());
+  EXPECT_GT(stats.nodes_visited, 0u);
+  EXPECT_GT(stats.repo_sets, 0u);
+}
+
+TEST(CobblerTest, ZeroSupportRejected) {
+  CobblerOptions options;
+  options.min_support = 0;
+  EXPECT_FALSE(MineClosedCobbler(TransactionDatabase::FromTransactions({{0}}),
+                                 options, [](auto, auto) {})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace fim

@@ -1,0 +1,166 @@
+// Unit tests of the common substrate: Status/Result, DynamicBitset, Rng.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/bitset.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace fim {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorsCarryCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad support");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad support");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad support");
+}
+
+TEST(StatusTest, EachFactoryProducesItsCode) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(BitsetTest, SetTestReset) {
+  DynamicBitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_TRUE(b.None());
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 3u);
+  b.Reset(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 2u);
+  b.Clear();
+  EXPECT_TRUE(b.None());
+}
+
+TEST(BitsetTest, IntersectUnionSubset) {
+  DynamicBitset a(100);
+  DynamicBitset b(100);
+  a.Set(3);
+  a.Set(70);
+  a.Set(99);
+  b.Set(3);
+  b.Set(99);
+  EXPECT_TRUE(b.IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+
+  DynamicBitset u = a;
+  u.UnionWith(b);
+  EXPECT_EQ(u.Count(), 3u);
+
+  a.IntersectWith(b);
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(BitsetTest, AppendSetBitsAscending) {
+  DynamicBitset b(200);
+  b.Set(199);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  std::vector<uint32_t> out;
+  b.AppendSetBits(&out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{0, 63, 64, 199}));
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  Rng c(124);
+  EXPECT_NE(Rng(123).Next(), c.Next());
+}
+
+TEST(RngTest, UniformInBounds) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all buckets hit in 1000 draws
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NormalHasRoughlyStandardMoments) {
+  Rng rng(9);
+  const int n = 20000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(10);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+}  // namespace
+}  // namespace fim

@@ -1,0 +1,165 @@
+// Unit tests of the data layer: item set utilities, TransactionDatabase,
+// FIMI IO, and database statistics.
+
+#include <gtest/gtest.h>
+
+#include "data/fimi_io.h"
+#include "data/itemset.h"
+#include "data/stats.h"
+#include "data/transaction_database.h"
+
+namespace fim {
+namespace {
+
+TEST(ItemsetTest, NormalizeSortsAndDeduplicates) {
+  std::vector<ItemId> v = {5, 1, 3, 1, 5, 5};
+  NormalizeItems(&v);
+  EXPECT_EQ(v, (std::vector<ItemId>{1, 3, 5}));
+}
+
+TEST(ItemsetTest, IntersectSorted) {
+  std::vector<ItemId> a = {1, 3, 5, 7};
+  std::vector<ItemId> b = {2, 3, 5, 8};
+  EXPECT_EQ(IntersectSorted(a, b), (std::vector<ItemId>{3, 5}));
+  EXPECT_TRUE(IntersectSorted(a, std::vector<ItemId>{}).empty());
+}
+
+TEST(ItemsetTest, IsSubsetSorted) {
+  std::vector<ItemId> a = {3, 5};
+  std::vector<ItemId> b = {1, 3, 5, 7};
+  EXPECT_TRUE(IsSubsetSorted(a, b));
+  EXPECT_FALSE(IsSubsetSorted(b, a));
+  EXPECT_TRUE(IsSubsetSorted(std::vector<ItemId>{}, a));
+  EXPECT_TRUE(IsSubsetSorted(a, a));
+  EXPECT_FALSE(IsSubsetSorted(std::vector<ItemId>{4}, b));
+}
+
+TEST(ItemsetTest, ItemsToString) {
+  EXPECT_EQ(ItemsToString(std::vector<ItemId>{}), "{}");
+  EXPECT_EQ(ItemsToString(std::vector<ItemId>{1, 4, 7}), "{1, 4, 7}");
+}
+
+TEST(ItemsetTest, CollectorGathersAndSorts) {
+  ClosedSetCollector collector;
+  auto cb = collector.AsCallback();
+  const std::vector<ItemId> s1 = {2, 3};
+  const std::vector<ItemId> s2 = {1};
+  cb(s1, 4);
+  cb(s2, 7);
+  collector.SortCanonical();
+  ASSERT_EQ(collector.size(), 2u);
+  EXPECT_EQ(collector.sets()[0].items, s2);
+  EXPECT_EQ(collector.sets()[1].items, s1);
+}
+
+TEST(TransactionDatabaseTest, NormalizesAndDropsEmpty) {
+  TransactionDatabase db;
+  db.AddTransaction({3, 1, 3});
+  db.AddTransaction({});  // dropped
+  db.AddTransaction({0});
+  EXPECT_EQ(db.NumTransactions(), 2u);
+  EXPECT_EQ(db.transaction(0), (std::vector<ItemId>{1, 3}));
+  EXPECT_EQ(db.NumItems(), 4u);
+  EXPECT_EQ(db.TotalItemOccurrences(), 3u);
+}
+
+TEST(TransactionDatabaseTest, SetNumItemsNeverShrinks) {
+  TransactionDatabase db;
+  db.AddTransaction({9});
+  db.SetNumItems(3);
+  EXPECT_EQ(db.NumItems(), 10u);
+  db.SetNumItems(20);
+  EXPECT_EQ(db.NumItems(), 20u);
+}
+
+TEST(TransactionDatabaseTest, ItemNames) {
+  TransactionDatabase db;
+  db.AddTransaction({0, 1});
+  EXPECT_FALSE(db.SetItemNames({"only-one"}).ok());
+  ASSERT_TRUE(db.SetItemNames({"alpha", "beta"}).ok());
+  EXPECT_EQ(db.ItemName(0), "alpha");
+  EXPECT_EQ(db.ItemName(5), "5");  // out of range falls back to the id
+}
+
+TEST(TransactionDatabaseTest, FrequenciesAndVertical) {
+  const TransactionDatabase db = TransactionDatabase::FromTransactions(
+      {{0, 1}, {1, 2}, {1}});
+  EXPECT_EQ(db.ItemFrequencies(), (std::vector<Support>{1, 3, 1}));
+  const auto vertical = db.BuildVertical();
+  ASSERT_EQ(vertical.size(), 3u);
+  EXPECT_EQ(vertical[1], (std::vector<Tid>{0, 1, 2}));
+  EXPECT_EQ(vertical[2], (std::vector<Tid>{1}));
+}
+
+TEST(TransactionDatabaseTest, CountSupport) {
+  const TransactionDatabase db = TransactionDatabase::FromTransactions(
+      {{0, 1, 2}, {0, 2}, {1, 2}});
+  EXPECT_EQ(db.CountSupport(std::vector<ItemId>{2}), 3u);
+  EXPECT_EQ(db.CountSupport(std::vector<ItemId>{0, 2}), 2u);
+  EXPECT_EQ(db.CountSupport(std::vector<ItemId>{0, 1, 2}), 1u);
+  EXPECT_EQ(db.CountSupport(std::vector<ItemId>{}), 3u);
+}
+
+TEST(FimiIoTest, ParseBasic) {
+  auto result = ParseFimi("1 2 3\n\n# comment\n7 5\n");
+  ASSERT_TRUE(result.ok());
+  const auto& db = result.value();
+  EXPECT_EQ(db.NumTransactions(), 2u);
+  EXPECT_EQ(db.transaction(1), (std::vector<ItemId>{5, 7}));
+  EXPECT_EQ(db.NumItems(), 8u);
+}
+
+TEST(FimiIoTest, ParseRejectsGarbage) {
+  auto result = ParseFimi("1 2\n3 x 4\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(FimiIoTest, ParseHandlesMissingTrailingNewline) {
+  auto result = ParseFimi("4 2");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().NumTransactions(), 1u);
+  EXPECT_EQ(result.value().transaction(0), (std::vector<ItemId>{2, 4}));
+}
+
+TEST(FimiIoTest, RoundTripThroughFile) {
+  const TransactionDatabase db = TransactionDatabase::FromTransactions(
+      {{0, 5, 9}, {2}, {1, 2, 3, 4}});
+  const std::string path = ::testing::TempDir() + "/fimi_roundtrip.txt";
+  ASSERT_TRUE(WriteFimiFile(db, path).ok());
+  auto back = ReadFimiFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().transactions(), db.transactions());
+}
+
+TEST(FimiIoTest, ReadMissingFileFails) {
+  auto result = ReadFimiFile("/nonexistent/really/not/here.txt");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(StatsTest, ComputesShape) {
+  const TransactionDatabase db = TransactionDatabase::FromTransactions(
+      {{0, 1, 2}, {1}, {1, 2}});
+  const DatabaseStats stats = ComputeStats(db);
+  EXPECT_EQ(stats.num_transactions, 3u);
+  EXPECT_EQ(stats.num_items, 3u);
+  EXPECT_EQ(stats.num_used_items, 3u);
+  EXPECT_EQ(stats.total_occurrences, 6u);
+  EXPECT_EQ(stats.min_transaction_size, 1u);
+  EXPECT_EQ(stats.max_transaction_size, 3u);
+  EXPECT_DOUBLE_EQ(stats.avg_transaction_size, 2.0);
+  EXPECT_NEAR(stats.density, 6.0 / 9.0, 1e-9);
+  EXPECT_FALSE(StatsToString(stats).empty());
+}
+
+TEST(StatsTest, EmptyDatabase) {
+  const DatabaseStats stats = ComputeStats(TransactionDatabase());
+  EXPECT_EQ(stats.num_transactions, 0u);
+  EXPECT_EQ(stats.total_occurrences, 0u);
+  EXPECT_EQ(stats.density, 0.0);
+}
+
+}  // namespace
+}  // namespace fim

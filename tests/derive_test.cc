@@ -1,0 +1,119 @@
+// Tests of maximal-set filtering and frequent-set reconstruction (§2.3).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "api/miner.h"
+#include "data/generators.h"
+#include "enumeration/eclat.h"
+#include "rules/derive.h"
+
+namespace fim {
+namespace {
+
+TEST(FilterMaximalTest, DropsSubsumedSets) {
+  std::vector<ClosedItemset> closed = {
+      {{0, 1, 2}, 2}, {{0, 1}, 3}, {{3}, 4}, {{1, 2}, 2},
+  };
+  const auto maximal = FilterMaximal(closed);
+  // {0,1} and {1,2} are inside {0,1,2}; {3} stands alone.
+  ASSERT_EQ(maximal.size(), 2u);
+  EXPECT_EQ(maximal[0].items, (std::vector<ItemId>{0, 1, 2}));
+  EXPECT_EQ(maximal[1].items, (std::vector<ItemId>{3}));
+}
+
+TEST(FilterMaximalTest, EqualSetsAreNotSubsumedByThemselves) {
+  std::vector<ClosedItemset> closed = {{{0, 1}, 2}};
+  EXPECT_EQ(FilterMaximal(closed).size(), 1u);
+}
+
+TEST(FilterMaximalTest, MaximalPropertyOnRandomData) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const TransactionDatabase db = GenerateRandomDense(10, 8, 0.5, seed * 7);
+    MinerOptions options;
+    options.min_support = 2;
+    auto closed = MineClosedCollect(db, options);
+    ASSERT_TRUE(closed.ok());
+    const auto maximal = FilterMaximal(closed.value());
+    // (a) every maximal set is closed and frequent;
+    for (const auto& m : maximal) {
+      EXPECT_GE(m.support, 2u);
+      // (b) no other maximal set contains it;
+      for (const auto& other : maximal) {
+        if (&other == &m) continue;
+        EXPECT_FALSE(IsSubsetSorted(m.items, other.items) &&
+                     m.items != other.items);
+      }
+    }
+    // (c) every closed set is inside some maximal set.
+    for (const auto& c : closed.value()) {
+      bool contained = false;
+      for (const auto& m : maximal) {
+        if (IsSubsetSorted(c.items, m.items)) {
+          contained = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(contained);
+    }
+  }
+}
+
+TEST(ExpandToAllFrequentTest, MatchesEclatExactly) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const TransactionDatabase db =
+        GenerateRandomDense(10, 8, 0.45, seed * 31);
+    const Support smin = 2;
+    MinerOptions options;
+    options.min_support = smin;
+    auto closed = MineClosedCollect(db, options);
+    ASSERT_TRUE(closed.ok());
+    const ClosedSetIndex index(closed.value());
+    auto expanded = ExpandToAllFrequent(index);
+    ASSERT_TRUE(expanded.ok());
+
+    std::map<std::vector<ItemId>, Support> expected;
+    EclatOptions eclat;
+    eclat.min_support = smin;
+    ASSERT_TRUE(MineFrequentEclat(
+                    db, eclat,
+                    [&expected](std::span<const ItemId> items,
+                                Support support) {
+                      expected.emplace(std::vector<ItemId>(items.begin(),
+                                                           items.end()),
+                                       support);
+                    })
+                    .ok());
+
+    ASSERT_EQ(expanded.value().size(), expected.size()) << "seed " << seed;
+    for (const auto& set : expanded.value()) {
+      auto it = expected.find(set.items);
+      ASSERT_NE(it, expected.end());
+      EXPECT_EQ(it->second, set.support);
+    }
+  }
+}
+
+TEST(ExpandToAllFrequentTest, RespectsMaxSets) {
+  const TransactionDatabase db = TransactionDatabase::FromTransactions(
+      {{0, 1, 2, 3, 4, 5}, {0, 1, 2, 3, 4, 5}});
+  MinerOptions options;
+  options.min_support = 1;
+  auto closed = MineClosedCollect(db, options);
+  ASSERT_TRUE(closed.ok());
+  const ClosedSetIndex index(closed.value());
+  auto result = ExpandToAllFrequent(index, /*max_sets=*/10);
+  ASSERT_FALSE(result.ok());  // 2^6 - 1 = 63 frequent sets > 10
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ExpandToAllFrequentTest, EmptyIndex) {
+  const ClosedSetIndex index({});
+  auto result = ExpandToAllFrequent(index);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().empty());
+}
+
+}  // namespace
+}  // namespace fim

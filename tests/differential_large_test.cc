@@ -1,0 +1,120 @@
+// Differential testing beyond the oracle's reach: medium-sized random
+// and structured databases where the exact subset-intersection oracle is
+// infeasible. All fast miners must agree pairwise, and the reference
+// output must pass the definitional soundness check. This tier exercises
+// the IsTa pruning and repository paths on much deeper trees than the
+// oracle-sized cases.
+
+#include <gtest/gtest.h>
+
+#include "api/miner.h"
+#include "data/expression.h"
+#include "data/generators.h"
+#include "ista/ista.h"
+#include "verify/closedness.h"
+#include "verify/compare.h"
+
+namespace fim {
+namespace {
+
+void CheckAllAgree(const TransactionDatabase& db, Support smin,
+                   const std::string& label) {
+  MinerOptions reference;
+  reference.algorithm = Algorithm::kIsta;
+  reference.min_support = smin;
+  auto expected = MineClosedCollect(db, reference);
+  ASSERT_TRUE(expected.ok()) << label;
+  ASSERT_TRUE(VerifyClosedSets(db, expected.value(), smin).ok()) << label;
+
+  for (Algorithm algorithm :
+       {Algorithm::kCarpenterLists, Algorithm::kCarpenterTable,
+        Algorithm::kLcm, Algorithm::kCharm, Algorithm::kTransposed,
+        Algorithm::kFpClose}) {
+    MinerOptions options;
+    options.algorithm = algorithm;
+    options.min_support = smin;
+    auto mined = MineClosedCollect(db, options);
+    ASSERT_TRUE(mined.ok()) << label << " " << AlgorithmName(algorithm);
+    ASSERT_TRUE(SameResults(expected.value(), mined.value()))
+        << label << " " << AlgorithmName(algorithm) << "\n"
+        << DiffResults(expected.value(), mined.value());
+  }
+
+  // IsTa with pruning forced after every transaction must also agree.
+  IstaOptions aggressive;
+  aggressive.min_support = smin;
+  aggressive.prune_node_threshold = 0;
+  ClosedSetCollector pruned;
+  ASSERT_TRUE(MineClosedIsta(db, aggressive, pruned.AsCallback()).ok());
+  ASSERT_TRUE(SameResults(expected.value(), pruned.sets()))
+      << label << " ista-aggressive-prune\n"
+      << DiffResults(expected.value(), pruned.sets());
+}
+
+TEST(DifferentialLargeTest, MediumRandomDatabases) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    for (double density : {0.1, 0.3}) {
+      const TransactionDatabase db =
+          GenerateRandomDense(40, 30, density, seed * 1009);
+      for (Support smin : {2u, 5u, 12u}) {
+        CheckAllAgree(db, smin,
+                      "random d=" + std::to_string(density) + " seed=" +
+                          std::to_string(seed) + " smin=" +
+                          std::to_string(smin));
+      }
+    }
+  }
+}
+
+TEST(DifferentialLargeTest, ExpressionShapedDatabases) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    ExpressionConfig config;
+    config.num_genes = 80;
+    config.num_conditions = 50;
+    config.num_modules = 6;
+    config.genes_per_module = 20;
+    config.conditions_per_module = 12;
+    config.noise_stddev = 0.12;
+    config.seed = seed * 37;
+    const ExpressionMatrix matrix = GenerateExpression(config);
+    const TransactionDatabase db = Discretize(
+        matrix, ExpressionOrientation::kConditionsAsTransactions);
+    for (Support smin : {3u, 8u}) {
+      CheckAllAgree(db, smin, "expression seed=" + std::to_string(seed));
+    }
+  }
+}
+
+TEST(DifferentialLargeTest, MarketBasketShapedDatabases) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    MarketBasketConfig config;
+    config.num_items = 35;
+    config.num_transactions = 150;
+    config.avg_transaction_size = 7.0;
+    config.num_patterns = 6;
+    config.seed = seed * 53;
+    const TransactionDatabase db = GenerateMarketBasket(config);
+    for (Support smin : {3u, 10u}) {
+      CheckAllAgree(db, smin, "basket seed=" + std::to_string(seed));
+    }
+  }
+}
+
+TEST(DifferentialLargeTest, NestedChainDatabases) {
+  // Long chains of nested transactions: worst case for the closedness
+  // report (every prefix is closed) and for duplicate pruning.
+  std::vector<std::vector<ItemId>> tx;
+  std::vector<ItemId> items;
+  for (ItemId i = 0; i < 60; ++i) {
+    items.push_back(i);
+    tx.push_back(items);
+    if (i % 3 == 0) tx.push_back(items);  // duplicates interleaved
+  }
+  const TransactionDatabase db = TransactionDatabase::FromTransactions(tx);
+  for (Support smin : {1u, 2u, 10u, 40u}) {
+    CheckAllAgree(db, smin, "nested smin=" + std::to_string(smin));
+  }
+}
+
+}  // namespace
+}  // namespace fim

@@ -1,0 +1,155 @@
+// Edge-case coverage for every miner: degenerate inputs, extreme support
+// thresholds, invalid options.
+
+#include <gtest/gtest.h>
+
+#include "api/miner.h"
+
+namespace fim {
+namespace {
+
+class EdgeCaseTest : public ::testing::TestWithParam<Algorithm> {
+ protected:
+  std::vector<ClosedItemset> Mine(const TransactionDatabase& db,
+                                  Support smin) {
+    MinerOptions options;
+    options.algorithm = GetParam();
+    options.min_support = smin;
+    auto result = MineClosedCollect(db, options);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? result.value() : std::vector<ClosedItemset>{};
+  }
+};
+
+TEST_P(EdgeCaseTest, EmptyDatabase) {
+  EXPECT_TRUE(Mine(TransactionDatabase(), 1).empty());
+}
+
+TEST_P(EdgeCaseTest, ZeroSupportRejected) {
+  MinerOptions options;
+  options.algorithm = GetParam();
+  options.min_support = 0;
+  auto result =
+      MineClosedCollect(TransactionDatabase::FromTransactions({{0}}), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_P(EdgeCaseTest, SingleTransaction) {
+  const auto sets =
+      Mine(TransactionDatabase::FromTransactions({{2, 5, 9}}), 1);
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0].items, (std::vector<ItemId>{2, 5, 9}));
+  EXPECT_EQ(sets[0].support, 1u);
+}
+
+TEST_P(EdgeCaseTest, SingleItemManyTransactions) {
+  const auto sets = Mine(
+      TransactionDatabase::FromTransactions({{0}, {0}, {0}, {0}}), 3);
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0].items, (std::vector<ItemId>{0}));
+  EXPECT_EQ(sets[0].support, 4u);
+}
+
+TEST_P(EdgeCaseTest, SupportAboveTransactionCount) {
+  EXPECT_TRUE(
+      Mine(TransactionDatabase::FromTransactions({{0}, {0, 1}}), 3).empty());
+}
+
+TEST_P(EdgeCaseTest, IdenticalTransactions) {
+  const auto sets = Mine(
+      TransactionDatabase::FromTransactions({{1, 2}, {1, 2}, {1, 2}}), 1);
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0].support, 3u);
+}
+
+TEST_P(EdgeCaseTest, DisjointTransactions) {
+  const auto sets = Mine(
+      TransactionDatabase::FromTransactions({{0}, {1}, {2}, {3}}), 1);
+  EXPECT_EQ(sets.size(), 4u);
+  EXPECT_TRUE(
+      Mine(TransactionDatabase::FromTransactions({{0}, {1}, {2}, {3}}), 2)
+          .empty());
+}
+
+TEST_P(EdgeCaseTest, NestedTransactions) {
+  // t1 superset of t2 superset of t3.
+  const auto sets = Mine(
+      TransactionDatabase::FromTransactions({{0, 1, 2, 3}, {1, 2, 3}, {2}}),
+      1);
+  ASSERT_EQ(sets.size(), 3u);
+  // {2} has support 3, {1,2,3} support 2, {0,1,2,3} support 1.
+  for (const auto& set : sets) {
+    if (set.items.size() == 1) {
+      EXPECT_EQ(set.support, 3u);
+    }
+    if (set.items.size() == 3) {
+      EXPECT_EQ(set.support, 2u);
+    }
+    if (set.items.size() == 4) {
+      EXPECT_EQ(set.support, 1u);
+    }
+  }
+}
+
+TEST_P(EdgeCaseTest, SparseItemIds) {
+  // Large, non-contiguous item ids must work (item base is 1000001).
+  const auto sets = Mine(TransactionDatabase::FromTransactions(
+                             {{7, 500000, 1000000}, {7, 1000000}}),
+                         2);
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0].items, (std::vector<ItemId>{7, 1000000}));
+}
+
+TEST_P(EdgeCaseTest, AllItemsEverywhere) {
+  const auto sets = Mine(TransactionDatabase::FromTransactions(
+                             {{0, 1, 2}, {0, 1, 2}, {0, 1, 2}, {0, 1, 2}}),
+                         2);
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0].items, (std::vector<ItemId>{0, 1, 2}));
+  EXPECT_EQ(sets[0].support, 4u);
+}
+
+TEST_P(EdgeCaseTest, MinSupportEqualsTransactionCount) {
+  const auto sets = Mine(TransactionDatabase::FromTransactions(
+                             {{0, 1}, {1, 2}, {1, 3}}),
+                         3);
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0].items, (std::vector<ItemId>{1}));
+  EXPECT_EQ(sets[0].support, 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, EdgeCaseTest,
+                         ::testing::ValuesIn(AllAlgorithms()),
+                         [](const auto& info) {
+                           std::string name = AlgorithmName(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(ApiTest, AlgorithmNamesRoundTrip) {
+  for (Algorithm algorithm : AllAlgorithms()) {
+    auto parsed = ParseAlgorithm(AlgorithmName(algorithm));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), algorithm);
+  }
+  EXPECT_FALSE(ParseAlgorithm("nope").ok());
+}
+
+TEST(ApiTest, CollectReturnsCanonicalOrder) {
+  const TransactionDatabase db = TransactionDatabase::FromTransactions(
+      {{0, 1}, {1, 2}, {0, 1}, {2}});
+  MinerOptions options;
+  options.min_support = 1;
+  auto result = MineClosedCollect(db, options);
+  ASSERT_TRUE(result.ok());
+  const auto& sets = result.value();
+  for (std::size_t i = 1; i < sets.size(); ++i) {
+    EXPECT_TRUE(ClosedItemsetLess(sets[i - 1], sets[i]));
+  }
+}
+
+}  // namespace
+}  // namespace fim

@@ -1,0 +1,151 @@
+// Hand-crafted behavioural tests of the enumeration-side miners: CHARM's
+// tidset-merge properties, the transposed miner's size look-ahead, and
+// FP-close's perfect-extension candidates.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+
+#include "enumeration/charm.h"
+#include "enumeration/fpclose.h"
+#include "enumeration/transposed.h"
+#include "verify/compare.h"
+#include "verify/oracle.h"
+
+namespace fim {
+namespace {
+
+std::vector<ClosedItemset> Collect(
+    const std::function<Status(const TransactionDatabase&,
+                               const ClosedSetCallback&)>& run,
+    const TransactionDatabase& db) {
+  ClosedSetCollector collector;
+  EXPECT_TRUE(run(db, collector.AsCallback()).ok());
+  collector.SortCanonical();
+  return collector.TakeSets();
+}
+
+TEST(CharmDeepTest, IdenticalTidsetsMergeIntoOneClosedSet) {
+  // Items 0 and 1 always co-occur: CHARM's property 1 must merge them,
+  // reporting {0,1} (and never {0} or {1} alone).
+  const TransactionDatabase db = TransactionDatabase::FromTransactions(
+      {{0, 1, 2}, {0, 1, 3}, {0, 1}});
+  CharmOptions options;
+  options.min_support = 1;
+  const auto sets = Collect(
+      [&](const TransactionDatabase& d, const ClosedSetCallback& cb) {
+        return MineClosedCharm(d, options, cb);
+      },
+      db);
+  for (const auto& set : sets) {
+    const bool has0 = std::binary_search(set.items.begin(), set.items.end(),
+                                         ItemId{0});
+    const bool has1 = std::binary_search(set.items.begin(), set.items.end(),
+                                         ItemId{1});
+    EXPECT_EQ(has0, has1) << ItemsToString(set.items);
+  }
+  auto expected = OracleClosedSets(db, 1);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(SameResults(expected.value(), sets));
+}
+
+TEST(CharmDeepTest, SubsetTidsetAbsorbsSupersetItems) {
+  // t(0) = {t1,t2} is a subset of t(1) = {t1,t2,t3}: property 2 says
+  // every closed set containing 0 must also contain 1.
+  const TransactionDatabase db = TransactionDatabase::FromTransactions(
+      {{0, 1}, {0, 1}, {1, 2}});
+  CharmOptions options;
+  options.min_support = 1;
+  const auto sets = Collect(
+      [&](const TransactionDatabase& d, const ClosedSetCallback& cb) {
+        return MineClosedCharm(d, options, cb);
+      },
+      db);
+  for (const auto& set : sets) {
+    if (std::binary_search(set.items.begin(), set.items.end(), ItemId{0})) {
+      EXPECT_TRUE(std::binary_search(set.items.begin(), set.items.end(),
+                                     ItemId{1}))
+          << ItemsToString(set.items);
+    }
+  }
+}
+
+TEST(TransposedDeepTest, SupportBecomesSizeConstraint) {
+  // Only sets of >= 3 transactions' worth of support survive; the
+  // transposed enumeration prunes everything smaller by size look-ahead.
+  const TransactionDatabase db = TransactionDatabase::FromTransactions(
+      {{0, 1}, {0, 1}, {0, 1}, {0, 2}, {2}});
+  TransposedOptions options;
+  options.min_support = 3;
+  const auto sets = Collect(
+      [&](const TransactionDatabase& d, const ClosedSetCallback& cb) {
+        return MineClosedTransposed(d, options, cb);
+      },
+      db);
+  auto expected = OracleClosedSets(db, 3);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(SameResults(expected.value(), sets))
+      << DiffResults(expected.value(), sets);
+  // Concretely: {0,1} supp 3 and {0} supp 4.
+  ASSERT_EQ(sets.size(), 2u);
+}
+
+TEST(TransposedDeepTest, HandlesItemOccurringNowhere) {
+  TransactionDatabase db = TransactionDatabase::FromTransactions({{0, 2}});
+  db.SetNumItems(10);  // items 3..9 never occur
+  TransposedOptions options;
+  options.min_support = 1;
+  const auto sets = Collect(
+      [&](const TransactionDatabase& d, const ClosedSetCallback& cb) {
+        return MineClosedTransposed(d, options, cb);
+      },
+      db);
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0].items, (std::vector<ItemId>{0, 2}));
+}
+
+TEST(FpCloseDeepTest, PerfectExtensionsFoldIntoCandidates) {
+  // Item 2 occurs in every transaction: it is a global perfect extension
+  // and must be inside EVERY reported closed set.
+  const TransactionDatabase db = TransactionDatabase::FromTransactions(
+      {{0, 2}, {1, 2}, {0, 1, 2}});
+  FpCloseOptions options;
+  options.min_support = 1;
+  const auto sets = Collect(
+      [&](const TransactionDatabase& d, const ClosedSetCallback& cb) {
+        return MineClosedFpClose(d, options, cb);
+      },
+      db);
+  for (const auto& set : sets) {
+    EXPECT_TRUE(
+        std::binary_search(set.items.begin(), set.items.end(), ItemId{2}))
+        << ItemsToString(set.items);
+  }
+  auto expected = OracleClosedSets(db, 1);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(SameResults(expected.value(), sets));
+}
+
+TEST(FpCloseDeepTest, SubsumptionFilterRemovesNonClosedCandidates) {
+  // A case with many shared prefixes where the raw candidate list
+  // contains non-closed sets that the same-support filter must remove.
+  const TransactionDatabase db = TransactionDatabase::FromTransactions(
+      {{0, 1, 2, 3}, {0, 1, 2}, {0, 1}, {0}});
+  FpCloseOptions options;
+  options.min_support = 1;
+  const auto sets = Collect(
+      [&](const TransactionDatabase& d, const ClosedSetCallback& cb) {
+        return MineClosedFpClose(d, options, cb);
+      },
+      db);
+  // Exactly the four nested prefixes, each closed with distinct support.
+  ASSERT_EQ(sets.size(), 4u);
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    EXPECT_EQ(sets[i].items.size(), i + 1);
+    EXPECT_EQ(sets[i].support, 4u - i);
+  }
+}
+
+}  // namespace
+}  // namespace fim

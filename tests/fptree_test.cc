@@ -1,0 +1,74 @@
+// Unit tests of the FP-tree substrate.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "enumeration/fptree.h"
+
+namespace fim {
+namespace {
+
+TEST(FpTreeTest, EmptyTree) {
+  FpTree tree(5);
+  EXPECT_TRUE(tree.Empty());
+  EXPECT_EQ(tree.TotalTransactions(), 0u);
+  EXPECT_EQ(tree.ItemSupport(0), 0u);
+}
+
+TEST(FpTreeTest, InsertSharesPrefixes) {
+  FpTree tree(5);
+  tree.Insert(std::vector<ItemId>{0, 1, 2}, 1);
+  tree.Insert(std::vector<ItemId>{0, 1, 3}, 1);
+  tree.Insert(std::vector<ItemId>{0, 1, 2}, 1);
+  // Root + shared path 0,1 + branch {2}, {3}: 4 item nodes + root.
+  EXPECT_EQ(tree.NodeCount(), 5u);
+  EXPECT_EQ(tree.ItemSupport(0), 3u);
+  EXPECT_EQ(tree.ItemSupport(1), 3u);
+  EXPECT_EQ(tree.ItemSupport(2), 2u);
+  EXPECT_EQ(tree.ItemSupport(3), 1u);
+  EXPECT_EQ(tree.TotalTransactions(), 3u);
+}
+
+TEST(FpTreeTest, InsertWithMultiplicity) {
+  FpTree tree(3);
+  tree.Insert(std::vector<ItemId>{1, 2}, 5);
+  EXPECT_EQ(tree.ItemSupport(1), 5u);
+  EXPECT_EQ(tree.TotalTransactions(), 5u);
+  tree.Insert(std::vector<ItemId>{}, 2);  // empty path still counts
+  EXPECT_EQ(tree.TotalTransactions(), 7u);
+}
+
+TEST(FpTreeTest, ZeroCountInsertIgnored) {
+  FpTree tree(3);
+  tree.Insert(std::vector<ItemId>{0}, 0);
+  EXPECT_TRUE(tree.Empty());
+}
+
+TEST(FpTreeTest, ConditionalPathsCollectWeightedPrefixes) {
+  FpTree tree(5);
+  tree.Insert(std::vector<ItemId>{0, 1, 4}, 1);
+  tree.Insert(std::vector<ItemId>{0, 2, 4}, 2);
+  tree.Insert(std::vector<ItemId>{4}, 1);
+
+  auto paths = tree.ConditionalPaths(4);
+  ASSERT_EQ(paths.size(), 3u);
+  // Sort by path content for a deterministic check.
+  std::sort(paths.begin(), paths.end(),
+            [](const auto& a, const auto& b) { return a.items < b.items; });
+  EXPECT_TRUE(paths[0].items.empty());
+  EXPECT_EQ(paths[0].count, 1u);
+  EXPECT_EQ(paths[1].items, (std::vector<ItemId>{0, 1}));
+  EXPECT_EQ(paths[1].count, 1u);
+  EXPECT_EQ(paths[2].items, (std::vector<ItemId>{0, 2}));
+  EXPECT_EQ(paths[2].count, 2u);
+}
+
+TEST(FpTreeTest, ConditionalPathsForAbsentItem) {
+  FpTree tree(5);
+  tree.Insert(std::vector<ItemId>{0, 1}, 1);
+  EXPECT_TRUE(tree.ConditionalPaths(3).empty());
+}
+
+}  // namespace
+}  // namespace fim

@@ -1,0 +1,149 @@
+// Tests of the all-frequent-set miners (Eclat, Apriori) and their
+// relationship to the closed-set miners.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "api/miner.h"
+#include "data/generators.h"
+#include "enumeration/apriori.h"
+#include "enumeration/declat.h"
+#include "enumeration/eclat.h"
+
+namespace fim {
+namespace {
+
+using FrequentMap = std::map<std::vector<ItemId>, Support>;
+
+FrequentMap BruteForceFrequent(const TransactionDatabase& db, Support smin) {
+  // Enumerate all subsets of the item base (small tests only).
+  std::vector<ItemId> used;
+  const auto freq = db.ItemFrequencies();
+  for (std::size_t i = 0; i < freq.size(); ++i) {
+    if (freq[i] > 0) used.push_back(static_cast<ItemId>(i));
+  }
+  FrequentMap out;
+  const std::size_t limit = std::size_t{1} << used.size();
+  for (std::size_t mask = 1; mask < limit; ++mask) {
+    std::vector<ItemId> items;
+    for (std::size_t b = 0; b < used.size(); ++b) {
+      if (mask & (std::size_t{1} << b)) items.push_back(used[b]);
+    }
+    const Support s = db.CountSupport(items);
+    if (s >= smin) out.emplace(std::move(items), s);
+  }
+  return out;
+}
+
+FrequentMap RunEclat(const TransactionDatabase& db, Support smin) {
+  FrequentMap out;
+  EclatOptions options;
+  options.min_support = smin;
+  EXPECT_TRUE(MineFrequentEclat(
+                  db, options,
+                  [&out](std::span<const ItemId> items, Support support) {
+                    auto [it, inserted] = out.emplace(
+                        std::vector<ItemId>(items.begin(), items.end()),
+                        support);
+                    EXPECT_TRUE(inserted) << "duplicate frequent set";
+                  })
+                  .ok());
+  return out;
+}
+
+FrequentMap RunDeclat(const TransactionDatabase& db, Support smin) {
+  FrequentMap out;
+  DeclatOptions options;
+  options.min_support = smin;
+  EXPECT_TRUE(MineFrequentDeclat(
+                  db, options,
+                  [&out](std::span<const ItemId> items, Support support) {
+                    auto [it, inserted] = out.emplace(
+                        std::vector<ItemId>(items.begin(), items.end()),
+                        support);
+                    EXPECT_TRUE(inserted) << "duplicate frequent set";
+                  })
+                  .ok());
+  return out;
+}
+
+FrequentMap RunApriori(const TransactionDatabase& db, Support smin) {
+  FrequentMap out;
+  AprioriOptions options;
+  options.min_support = smin;
+  EXPECT_TRUE(MineFrequentApriori(
+                  db, options,
+                  [&out](std::span<const ItemId> items, Support support) {
+                    auto [it, inserted] = out.emplace(
+                        std::vector<ItemId>(items.begin(), items.end()),
+                        support);
+                    EXPECT_TRUE(inserted) << "duplicate frequent set";
+                  })
+                  .ok());
+  return out;
+}
+
+TEST(FrequentMinersTest, MatchBruteForceOnRandomDatabases) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    const TransactionDatabase db = GenerateRandomDense(10, 8, 0.4, seed * 13);
+    for (Support smin : {1u, 2u, 4u}) {
+      const FrequentMap expected = BruteForceFrequent(db, smin);
+      EXPECT_EQ(RunEclat(db, smin), expected) << "eclat seed " << seed;
+      EXPECT_EQ(RunApriori(db, smin), expected) << "apriori seed " << seed;
+      EXPECT_EQ(RunDeclat(db, smin), expected) << "declat seed " << seed;
+    }
+  }
+}
+
+TEST(FrequentMinersTest, ZeroSupportRejected) {
+  const TransactionDatabase db = TransactionDatabase::FromTransactions({{0}});
+  EclatOptions e;
+  e.min_support = 0;
+  EXPECT_FALSE(MineFrequentEclat(db, e, [](auto, auto) {}).ok());
+  AprioriOptions a;
+  a.min_support = 0;
+  EXPECT_FALSE(MineFrequentApriori(db, a, [](auto, auto) {}).ok());
+  DeclatOptions d;
+  d.min_support = 0;
+  EXPECT_FALSE(MineFrequentDeclat(db, d, [](auto, auto) {}).ok());
+}
+
+TEST(FrequentMinersTest, ClosedSetsAreExactlyClosureImagesOfFrequentSets) {
+  // Every frequent set's support must equal the support of some closed
+  // frequent superset, and every closed set must itself be frequent.
+  const TransactionDatabase db = GenerateRandomDense(11, 9, 0.45, 777);
+  const Support smin = 2;
+
+  MinerOptions options;
+  options.min_support = smin;
+  auto closed = MineClosedCollect(db, options);
+  ASSERT_TRUE(closed.ok());
+  const auto& closed_sets = closed.value();
+
+  const FrequentMap frequent = RunEclat(db, smin);
+
+  // (a) every closed set is frequent with matching support;
+  for (const auto& set : closed_sets) {
+    auto it = frequent.find(set.items);
+    ASSERT_NE(it, frequent.end());
+    EXPECT_EQ(it->second, set.support);
+  }
+  // (b) every frequent set has a closed superset with the same support.
+  for (const auto& [items, support] : frequent) {
+    bool found = false;
+    for (const auto& set : closed_sets) {
+      if (set.support == support && IsSubsetSorted(items, set.items)) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << ItemsToString(items);
+  }
+  // (c) closed sets are a (usually strict) subset of frequent sets.
+  EXPECT_LE(closed_sets.size(), frequent.size());
+}
+
+}  // namespace
+}  // namespace fim

@@ -1,0 +1,130 @@
+// Property tests of the §2.5 Galois connection: the closure laws and the
+// bijection between closed item sets and closed tid sets that justify
+// the intersection approach.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "api/miner.h"
+#include "data/generators.h"
+#include "verify/galois.h"
+
+namespace fim {
+namespace {
+
+std::vector<TransactionDatabase> TestDatabases() {
+  std::vector<TransactionDatabase> dbs;
+  dbs.push_back(TransactionDatabase::FromTransactions(
+      {{0, 1, 2}, {0, 3, 4}, {1, 2, 3}, {0, 1, 2, 3}, {1, 2}, {0, 1, 3},
+       {3, 4}, {2, 3, 4}}));
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    dbs.push_back(GenerateRandomDense(8, 7, 0.5, seed * 991));
+  }
+  return dbs;
+}
+
+// Enumerates all subsets of {0..n-1} as sorted vectors (n small).
+template <typename T>
+std::vector<std::vector<T>> AllSubsets(std::size_t n) {
+  std::vector<std::vector<T>> out;
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    std::vector<T> subset;
+    for (std::size_t b = 0; b < n; ++b) {
+      if (mask & (std::size_t{1} << b)) subset.push_back(static_cast<T>(b));
+    }
+    out.push_back(std::move(subset));
+  }
+  return out;
+}
+
+TEST(GaloisTest, ClosureOperatorLaws) {
+  for (const auto& db : TestDatabases()) {
+    for (const auto& items : AllSubsets<ItemId>(db.NumItems())) {
+      const auto closure = ItemClosure(db, items);
+      // Extensive: I subseteq gf(I).
+      EXPECT_TRUE(IsSubsetSorted(items, closure));
+      // Idempotent: gf(gf(I)) == gf(I).
+      EXPECT_EQ(ItemClosure(db, closure), closure);
+    }
+    for (const auto& tids : AllSubsets<Tid>(db.NumTransactions())) {
+      const auto closure = TidClosure(db, tids);
+      EXPECT_TRUE(IsSubsetSorted(tids, closure));
+      EXPECT_EQ(TidClosure(db, closure), closure);
+    }
+  }
+}
+
+TEST(GaloisTest, Monotonicity) {
+  for (const auto& db : TestDatabases()) {
+    const auto subsets = AllSubsets<ItemId>(db.NumItems());
+    for (const auto& a : subsets) {
+      for (const auto& b : subsets) {
+        if (!IsSubsetSorted(a, b)) continue;
+        // f antitone: cover(b) subseteq cover(a).
+        EXPECT_TRUE(IsSubsetSorted(CoverOf(db, b), CoverOf(db, a)));
+        // gf monotone.
+        EXPECT_TRUE(
+            IsSubsetSorted(ItemClosure(db, a), ItemClosure(db, b)));
+      }
+    }
+  }
+}
+
+TEST(GaloisTest, FgfEqualsF) {
+  for (const auto& db : TestDatabases()) {
+    for (const auto& items : AllSubsets<ItemId>(db.NumItems())) {
+      // f(gf(I)) == f(I): the cover of the closure is the cover.
+      EXPECT_EQ(CoverOf(db, ItemClosure(db, items)), CoverOf(db, items));
+    }
+  }
+}
+
+TEST(GaloisTest, BijectionBetweenFixpoints) {
+  for (const auto& db : TestDatabases()) {
+    // Collect the fixpoints on both sides.
+    std::set<std::vector<ItemId>> closed_item_sets;
+    for (const auto& items : AllSubsets<ItemId>(db.NumItems())) {
+      if (ItemClosure(db, items) == items) closed_item_sets.insert(items);
+    }
+    std::set<std::vector<Tid>> closed_tid_sets;
+    for (const auto& tids : AllSubsets<Tid>(db.NumTransactions())) {
+      if (TidClosure(db, tids) == tids) closed_tid_sets.insert(tids);
+    }
+    EXPECT_EQ(closed_item_sets.size(), closed_tid_sets.size());
+    // f maps closed item sets onto closed tid sets, g inverts it.
+    std::set<std::vector<Tid>> image;
+    for (const auto& items : closed_item_sets) {
+      const auto cover = CoverOf(db, items);
+      EXPECT_TRUE(closed_tid_sets.count(cover));
+      EXPECT_EQ(IntersectionOf(db, cover), items);
+      image.insert(cover);
+    }
+    EXPECT_EQ(image.size(), closed_item_sets.size());  // injective
+  }
+}
+
+TEST(GaloisTest, MinedClosedSetsAreExactlyNonEmptyFixpointsWithSupport) {
+  for (const auto& db : TestDatabases()) {
+    MinerOptions options;
+    options.min_support = 2;
+    auto mined = MineClosedCollect(db, options);
+    ASSERT_TRUE(mined.ok());
+    std::set<std::vector<ItemId>> mined_sets;
+    for (const auto& set : mined.value()) {
+      mined_sets.insert(set.items);
+      // Closed w.r.t. the closure operator and support = cover size.
+      EXPECT_EQ(ItemClosure(db, set.items), set.items);
+      EXPECT_EQ(CoverOf(db, set.items).size(), set.support);
+    }
+    // Completeness: every non-empty fixpoint with enough support is mined.
+    for (const auto& items : AllSubsets<ItemId>(db.NumItems())) {
+      if (items.empty() || ItemClosure(db, items) != items) continue;
+      if (CoverOf(db, items).size() < 2) continue;
+      EXPECT_TRUE(mined_sets.count(items)) << ItemsToString(items);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fim

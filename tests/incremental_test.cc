@@ -1,0 +1,67 @@
+// Tests of the online/streaming IsTa wrapper: querying after every
+// prefix of the stream must match batch mining of that prefix.
+
+#include <gtest/gtest.h>
+
+#include "api/miner.h"
+#include "data/generators.h"
+#include "ista/incremental.h"
+#include "verify/compare.h"
+#include "verify/oracle.h"
+
+namespace fim {
+namespace {
+
+TEST(IncrementalTest, MatchesBatchAfterEveryPrefix) {
+  const TransactionDatabase db = GenerateRandomDense(12, 10, 0.4, 2024);
+  IncrementalClosedSetMiner miner(db.NumItems());
+  TransactionDatabase prefix_db;
+  prefix_db.SetNumItems(db.NumItems());
+  for (std::size_t k = 0; k < db.NumTransactions(); ++k) {
+    ASSERT_TRUE(miner.AddTransaction(db.transaction(k)).ok());
+    prefix_db.AddTransaction(db.transaction(k));
+    EXPECT_EQ(miner.NumTransactions(), k + 1);
+    for (Support smin : {1u, 2u, 3u}) {
+      auto streamed = miner.QueryCollect(smin);
+      ASSERT_TRUE(streamed.ok());
+      auto expected = OracleClosedSets(prefix_db, smin);
+      ASSERT_TRUE(expected.ok());
+      EXPECT_TRUE(SameResults(expected.value(), streamed.value()))
+          << "prefix " << (k + 1) << " smin " << smin << "\n"
+          << DiffResults(expected.value(), streamed.value());
+    }
+  }
+}
+
+TEST(IncrementalTest, RejectsBadInput) {
+  IncrementalClosedSetMiner miner(5);
+  EXPECT_FALSE(miner.AddTransaction({}).ok());
+  EXPECT_EQ(miner.AddTransaction({7}).code(), StatusCode::kOutOfRange);
+  ASSERT_TRUE(miner.AddTransaction({1, 1, 4}).ok());  // duplicates fine
+  EXPECT_EQ(miner.NumTransactions(), 1u);
+  EXPECT_FALSE(miner.Query(0, [](auto, auto) {}).ok());
+}
+
+TEST(IncrementalTest, QueryBeforeAnyTransaction) {
+  IncrementalClosedSetMiner miner(4);
+  auto result = miner.QueryCollect(1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().empty());
+  EXPECT_EQ(miner.NodeCount(), 0u);
+}
+
+TEST(IncrementalTest, SupportsRepeatedQueriesWithoutSideEffects) {
+  IncrementalClosedSetMiner miner(6);
+  ASSERT_TRUE(miner.AddTransaction({0, 1, 2}).ok());
+  ASSERT_TRUE(miner.AddTransaction({1, 2, 3}).ok());
+  auto a = miner.QueryCollect(1);
+  auto b = miner.QueryCollect(1);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+  // {1,2} supp 2 plus the two transactions.
+  EXPECT_EQ(a.value().size(), 3u);
+}
+
+}  // namespace
+}  // namespace fim

@@ -1,0 +1,72 @@
+// Unit tests of the expression-matrix text IO.
+
+#include <gtest/gtest.h>
+
+#include "data/expression.h"
+#include "data/matrix_io.h"
+
+namespace fim {
+namespace {
+
+TEST(MatrixIoTest, ParseBasic) {
+  auto result = ParseExpressionMatrix("0.5 -0.3 0\n# comment\n1.25 0.0 -1\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const ExpressionMatrix& m = result.value();
+  EXPECT_EQ(m.num_genes(), 2u);
+  EXPECT_EQ(m.num_conditions(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -0.3);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 1.25);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), -1.0);
+}
+
+TEST(MatrixIoTest, ParseTabsAndScientific) {
+  auto result = ParseExpressionMatrix("1e-3\t-2.5e2\n0.0\t3\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value().at(0, 0), 1e-3);
+  EXPECT_DOUBLE_EQ(result.value().at(0, 1), -250.0);
+}
+
+TEST(MatrixIoTest, RejectsRaggedRows) {
+  auto result = ParseExpressionMatrix("1 2 3\n4 5\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MatrixIoTest, RejectsGarbage) {
+  auto result = ParseExpressionMatrix("1 2\nx y\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(MatrixIoTest, RejectsEmpty) {
+  EXPECT_FALSE(ParseExpressionMatrix("").ok());
+  EXPECT_FALSE(ParseExpressionMatrix("# only comments\n").ok());
+}
+
+TEST(MatrixIoTest, FileRoundTrip) {
+  ExpressionMatrix m(2, 2);
+  m.at(0, 0) = 0.25;
+  m.at(0, 1) = -1.5;
+  m.at(1, 0) = 0.0;
+  m.at(1, 1) = 42.0;
+  const std::string path = ::testing::TempDir() + "/matrix_roundtrip.tsv";
+  ASSERT_TRUE(WriteExpressionMatrixFile(m, path).ok());
+  auto back = ReadExpressionMatrixFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().num_genes(), 2u);
+  EXPECT_EQ(back.value().num_conditions(), 2u);
+  for (std::size_t g = 0; g < 2; ++g) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      EXPECT_DOUBLE_EQ(back.value().at(g, c), m.at(g, c));
+    }
+  }
+}
+
+TEST(MatrixIoTest, MissingFile) {
+  EXPECT_EQ(ReadExpressionMatrixFile("/no/such/file.tsv").status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace fim

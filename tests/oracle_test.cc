@@ -1,0 +1,104 @@
+// Tests of the verification substrate itself: the subset-intersection
+// oracle, the closure helper, and the result diff.
+
+#include <gtest/gtest.h>
+
+#include "verify/closedness.h"
+#include "verify/compare.h"
+#include "verify/oracle.h"
+
+namespace fim {
+namespace {
+
+TEST(OracleTest, SingleTransaction) {
+  const TransactionDatabase db =
+      TransactionDatabase::FromTransactions({{1, 3}});
+  auto result = OracleClosedSets(db, 1);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 1u);
+  EXPECT_EQ(result.value()[0].items, (std::vector<ItemId>{1, 3}));
+  EXPECT_EQ(result.value()[0].support, 1u);
+}
+
+TEST(OracleTest, DisjointTransactions) {
+  const TransactionDatabase db =
+      TransactionDatabase::FromTransactions({{0}, {1}, {2}});
+  auto result = OracleClosedSets(db, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 3u);  // empty intersections dropped
+  auto none = OracleClosedSets(db, 2);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none.value().empty());
+}
+
+TEST(OracleTest, DuplicatesMergeWithSupport) {
+  const TransactionDatabase db =
+      TransactionDatabase::FromTransactions({{0, 1}, {0, 1}, {0, 1}});
+  auto result = OracleClosedSets(db, 2);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 1u);
+  EXPECT_EQ(result.value()[0].support, 3u);
+}
+
+TEST(OracleTest, RejectsTooManyTransactions) {
+  std::vector<std::vector<ItemId>> tx(kOracleMaxTransactions + 1, {0});
+  const TransactionDatabase db = TransactionDatabase::FromTransactions(tx);
+  auto result = OracleClosedSets(db, 1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OracleTest, RejectsZeroSupport) {
+  const TransactionDatabase db = TransactionDatabase::FromTransactions({{0}});
+  EXPECT_FALSE(OracleClosedSets(db, 0).ok());
+}
+
+TEST(ClosureTest, ComputesIntersectionOfCover) {
+  const TransactionDatabase db = TransactionDatabase::FromTransactions(
+      {{0, 1, 2}, {0, 1, 3}, {2, 3}});
+  EXPECT_EQ(Closure(db, std::vector<ItemId>{0}),
+            (std::vector<ItemId>{0, 1}));
+  EXPECT_EQ(Closure(db, std::vector<ItemId>{0, 1}),
+            (std::vector<ItemId>{0, 1}));
+  EXPECT_TRUE(Closure(db, std::vector<ItemId>{0, 3, 2}).empty());  // no cover
+}
+
+TEST(VerifyClosedSetsTest, CatchesViolations) {
+  const TransactionDatabase db = TransactionDatabase::FromTransactions(
+      {{0, 1}, {0, 1}, {0}});
+  // Correct: {0,1} supp 2, {0} supp 3.
+  EXPECT_TRUE(VerifyClosedSets(db, {{{0, 1}, 2}, {{0}, 3}}, 2).ok());
+  // Wrong support.
+  EXPECT_FALSE(VerifyClosedSets(db, {{{0, 1}, 3}}, 2).ok());
+  // Non-closed set ({1} has closure {0,1}).
+  EXPECT_FALSE(VerifyClosedSets(db, {{{1}, 2}}, 2).ok());
+  // Below minimum support.
+  EXPECT_FALSE(VerifyClosedSets(db, {{{0, 1}, 2}}, 3).ok());
+  // Empty set is never allowed.
+  EXPECT_FALSE(VerifyClosedSets(db, {{{}, 3}}, 2).ok());
+}
+
+TEST(CompareTest, SameResultsIgnoresOrder) {
+  std::vector<ClosedItemset> a = {{{0, 1}, 2}, {{2}, 3}};
+  std::vector<ClosedItemset> b = {{{2}, 3}, {{0, 1}, 2}};
+  EXPECT_TRUE(SameResults(a, b));
+  EXPECT_TRUE(DiffResults(a, b).empty());
+}
+
+TEST(CompareTest, DiffListsBothSides) {
+  std::vector<ClosedItemset> a = {{{0}, 1}};
+  std::vector<ClosedItemset> b = {{{1}, 1}};
+  EXPECT_FALSE(SameResults(a, b));
+  const std::string diff = DiffResults(a, b);
+  EXPECT_NE(diff.find("only in A"), std::string::npos);
+  EXPECT_NE(diff.find("only in B"), std::string::npos);
+}
+
+TEST(CompareTest, SupportDifferencesAreDifferences) {
+  std::vector<ClosedItemset> a = {{{0}, 1}};
+  std::vector<ClosedItemset> b = {{{0}, 2}};
+  EXPECT_FALSE(SameResults(a, b));
+}
+
+}  // namespace
+}  // namespace fim

@@ -1,0 +1,136 @@
+// Unit tests of the IsTa prefix tree, including the worked example of the
+// paper's Figure 3.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "ista/prefix_tree.h"
+
+namespace fim {
+namespace {
+
+std::map<std::vector<ItemId>, Support> Collect(const IstaPrefixTree& tree,
+                                               Support min_support) {
+  std::map<std::vector<ItemId>, Support> out;
+  tree.Report(min_support,
+              [&out](std::span<const ItemId> items, Support support) {
+                out.emplace(
+                    std::vector<ItemId>(items.begin(), items.end()), support);
+              });
+  return out;
+}
+
+// Figure 3: transactions {e,c,a}, {e,d,b}, {d,c,b,a} with item codes
+// a=0, b=1, c=2, d=3, e=4.
+TEST(IstaPrefixTreeTest, Figure3Example) {
+  IstaPrefixTree tree(5);
+  tree.AddTransaction(std::vector<ItemId>{0, 2, 4});  // {e,c,a}
+  tree.AddTransaction(std::vector<ItemId>{1, 3, 4});  // {e,d,b}
+
+  // After step 2 the only intersection is {e} with support 2.
+  auto after2 = Collect(tree, 1);
+  EXPECT_EQ(after2.size(), 3u);
+  EXPECT_EQ(after2.at({4}), 2u);
+  EXPECT_EQ(after2.at({0, 2, 4}), 1u);
+  EXPECT_EQ(after2.at({1, 3, 4}), 1u);
+
+  tree.AddTransaction(std::vector<ItemId>{0, 1, 2, 3});  // {d,c,b,a}
+
+  // Figure 3 step 3: new intersections {d,b} and {c,a}, both support 2.
+  auto after3 = Collect(tree, 1);
+  EXPECT_EQ(after3.size(), 6u);
+  EXPECT_EQ(after3.at({4}), 2u);
+  EXPECT_EQ(after3.at({1, 3}), 2u);
+  EXPECT_EQ(after3.at({0, 2}), 2u);
+  EXPECT_EQ(after3.at({0, 2, 4}), 1u);
+  EXPECT_EQ(after3.at({1, 3, 4}), 1u);
+  EXPECT_EQ(after3.at({0, 1, 2, 3}), 1u);
+
+  // With min support 2 only the intersections remain.
+  auto frequent = Collect(tree, 2);
+  EXPECT_EQ(frequent.size(), 3u);
+  EXPECT_TRUE(frequent.count({4}));
+  EXPECT_TRUE(frequent.count({1, 3}));
+  EXPECT_TRUE(frequent.count({0, 2}));
+}
+
+TEST(IstaPrefixTreeTest, DuplicateTransactionsAccumulateSupport) {
+  IstaPrefixTree tree(3);
+  for (int i = 0; i < 4; ++i) {
+    tree.AddTransaction(std::vector<ItemId>{0, 2});
+  }
+  auto sets = Collect(tree, 1);
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets.at({0, 2}), 4u);
+  EXPECT_EQ(tree.StepCount(), 4u);
+}
+
+TEST(IstaPrefixTreeTest, NonClosedPrefixesAreSuppressed) {
+  IstaPrefixTree tree(4);
+  // {c,b,a} twice and {c,b} once: {c,b,a} supp 2, {c,b} supp 3 are closed;
+  // nothing else.
+  tree.AddTransaction(std::vector<ItemId>{0, 1, 2});
+  tree.AddTransaction(std::vector<ItemId>{0, 1, 2});
+  tree.AddTransaction(std::vector<ItemId>{1, 2});
+  auto sets = Collect(tree, 1);
+  EXPECT_EQ(sets.size(), 2u);
+  EXPECT_EQ(sets.at({0, 1, 2}), 2u);
+  EXPECT_EQ(sets.at({1, 2}), 3u);
+}
+
+TEST(IstaPrefixTreeTest, NodeCountGrowsAndStepsTrack) {
+  IstaPrefixTree tree(6);
+  EXPECT_EQ(tree.NodeCount(), 0u);
+  tree.AddTransaction(std::vector<ItemId>{0, 1, 2});
+  EXPECT_EQ(tree.NodeCount(), 3u);  // one path
+  tree.AddTransaction(std::vector<ItemId>{3, 4, 5});
+  EXPECT_EQ(tree.NodeCount(), 6u);  // disjoint path, no intersections
+  EXPECT_EQ(tree.StepCount(), 2u);
+}
+
+TEST(IstaPrefixTreeTest, PruneDropsHopelessItems) {
+  IstaPrefixTree tree(4);
+  tree.AddTransaction(std::vector<ItemId>{0, 1, 2, 3});
+  tree.AddTransaction(std::vector<ItemId>{1, 2});
+  // Suppose no transactions remain: remaining = 0 for all items.
+  // With min support 2, all sets whose support is 1 lose all items whose
+  // node support is 1.
+  std::vector<Support> remaining(4, 0);
+  tree.Prune(2, remaining);
+  auto sets = Collect(tree, 2);
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets.at({1, 2}), 2u);
+}
+
+TEST(IstaPrefixTreeTest, PruneKeepsItemsWithEnoughRemaining) {
+  IstaPrefixTree tree(3);
+  tree.AddTransaction(std::vector<ItemId>{0, 1});
+  // Item 0 and 1 both occur once so far; with 5 remaining occurrences
+  // each, min support 3 is still achievable: nothing may be dropped.
+  std::vector<Support> remaining(3, 5);
+  const std::size_t before = tree.NodeCount();
+  tree.Prune(3, remaining);
+  EXPECT_EQ(tree.NodeCount(), before);
+  auto sets = Collect(tree, 1);
+  EXPECT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets.at({0, 1}), 1u);
+}
+
+TEST(IstaPrefixTreeTest, ManyItemsWidePaths) {
+  // A long transaction and a one-item overlap stress the descending
+  // sibling order and the imin cutoff.
+  IstaPrefixTree tree(100);
+  std::vector<ItemId> wide;
+  for (ItemId i = 0; i < 100; i += 2) wide.push_back(i);
+  tree.AddTransaction(wide);
+  tree.AddTransaction(std::vector<ItemId>{50});
+  auto sets = Collect(tree, 1);
+  EXPECT_EQ(sets.size(), 2u);
+  EXPECT_EQ(sets.at({50}), 2u);
+  EXPECT_EQ(sets.at(wide), 1u);
+}
+
+}  // namespace
+}  // namespace fim

@@ -1,0 +1,141 @@
+// Unit tests of item recoding and transaction reordering (§3.4
+// preprocessing).
+
+#include <gtest/gtest.h>
+
+#include "data/recode.h"
+#include "data/transpose.h"
+
+namespace fim {
+namespace {
+
+TransactionDatabase SmallDb() {
+  // Frequencies: item0: 3, item1: 1, item2: 2, item3: 0 (declared only).
+  TransactionDatabase db = TransactionDatabase::FromTransactions(
+      {{0, 1}, {0, 2}, {0, 2}});
+  db.SetNumItems(4);
+  return db;
+}
+
+TEST(RecodeTest, FrequencyAscendingGivesRarestCodeZero) {
+  const TransactionDatabase db = SmallDb();
+  const Recoding r = ComputeRecoding(db, ItemOrder::kFrequencyAscending, 1);
+  // Unused item 3 is dropped entirely.
+  EXPECT_EQ(r.num_kept(), 3u);
+  EXPECT_EQ(r.old_to_new[3], kInvalidItem);
+  // freq(1)=1 < freq(2)=2 < freq(0)=3.
+  EXPECT_EQ(r.old_to_new[1], 0u);
+  EXPECT_EQ(r.old_to_new[2], 1u);
+  EXPECT_EQ(r.old_to_new[0], 2u);
+  EXPECT_EQ(r.new_to_old, (std::vector<ItemId>{1, 2, 0}));
+}
+
+TEST(RecodeTest, FrequencyDescendingReverses) {
+  const TransactionDatabase db = SmallDb();
+  const Recoding r = ComputeRecoding(db, ItemOrder::kFrequencyDescending, 1);
+  EXPECT_EQ(r.old_to_new[0], 0u);
+  EXPECT_EQ(r.old_to_new[2], 1u);
+  EXPECT_EQ(r.old_to_new[1], 2u);
+}
+
+TEST(RecodeTest, NoneKeepsRelativeOrderOfKeptItems) {
+  const TransactionDatabase db = SmallDb();
+  const Recoding r = ComputeRecoding(db, ItemOrder::kNone, 1);
+  EXPECT_EQ(r.new_to_old, (std::vector<ItemId>{0, 1, 2}));
+}
+
+TEST(RecodeTest, MinSupportDropsInfrequentItems) {
+  const TransactionDatabase db = SmallDb();
+  const Recoding r = ComputeRecoding(db, ItemOrder::kFrequencyAscending, 2);
+  EXPECT_EQ(r.num_kept(), 2u);  // items 0 and 2 survive
+  EXPECT_EQ(r.old_to_new[1], kInvalidItem);
+}
+
+TEST(RecodeTest, ApplyMapsAndDropsEmptyTransactions) {
+  const TransactionDatabase db = SmallDb();
+  const Recoding r = ComputeRecoding(db, ItemOrder::kFrequencyAscending, 2);
+  const TransactionDatabase coded =
+      ApplyRecoding(db, r, TransactionOrder::kNone);
+  // {0,1} loses item 1 -> {0}; others map fully.
+  EXPECT_EQ(coded.NumTransactions(), 3u);
+  EXPECT_EQ(coded.NumItems(), 2u);
+  for (const auto& t : coded.transactions()) {
+    for (ItemId i : t) EXPECT_LT(i, 2u);
+  }
+}
+
+TEST(RecodeTest, SizeAscendingOrdersBySizeThenDescendingLex) {
+  TransactionDatabase db = TransactionDatabase::FromTransactions(
+      {{0, 1, 2}, {2}, {0, 1}, {1, 2}});
+  const Recoding r = ComputeRecoding(db, ItemOrder::kNone, 1);
+  const TransactionDatabase coded =
+      ApplyRecoding(db, r, TransactionOrder::kSizeAscending);
+  ASSERT_EQ(coded.NumTransactions(), 4u);
+  EXPECT_EQ(coded.transaction(0).size(), 1u);
+  EXPECT_EQ(coded.transaction(1).size(), 2u);
+  EXPECT_EQ(coded.transaction(2).size(), 2u);
+  EXPECT_EQ(coded.transaction(3).size(), 3u);
+  // Same-size tiebreak: lexicographic on the descending item sequence:
+  // {0,1} reads (1,0), {1,2} reads (2,1) -> {0,1} first.
+  EXPECT_EQ(coded.transaction(1), (std::vector<ItemId>{0, 1}));
+  EXPECT_EQ(coded.transaction(2), (std::vector<ItemId>{1, 2}));
+}
+
+TEST(RecodeTest, SizeDescendingReverses) {
+  TransactionDatabase db = TransactionDatabase::FromTransactions(
+      {{2}, {0, 1, 2}});
+  const Recoding r = ComputeRecoding(db, ItemOrder::kNone, 1);
+  const TransactionDatabase coded =
+      ApplyRecoding(db, r, TransactionOrder::kSizeDescending);
+  EXPECT_EQ(coded.transaction(0).size(), 3u);
+  EXPECT_EQ(coded.transaction(1).size(), 1u);
+}
+
+TEST(RecodeTest, DecodeRoundTrip) {
+  const TransactionDatabase db = SmallDb();
+  const Recoding r = ComputeRecoding(db, ItemOrder::kFrequencyAscending, 1);
+  const std::vector<ItemId> coded = {0, 2};  // items 1 and 0
+  EXPECT_EQ(DecodeItems(coded, r), (std::vector<ItemId>{0, 1}));
+}
+
+TEST(RecodeTest, DecodingCallbackTranslatesAndSorts) {
+  const TransactionDatabase db = SmallDb();
+  const Recoding r = ComputeRecoding(db, ItemOrder::kFrequencyAscending, 1);
+  ClosedSetCollector collector;
+  ClosedSetCallback cb = MakeDecodingCallback(r, collector.AsCallback());
+  const std::vector<ItemId> coded = {1, 2};  // -> old items {2, 0}
+  cb(coded, 2);
+  ASSERT_EQ(collector.size(), 1u);
+  EXPECT_EQ(collector.sets()[0].items, (std::vector<ItemId>{0, 2}));
+  EXPECT_EQ(collector.sets()[0].support, 2u);
+}
+
+TEST(TransposeTest, SwapsItemsAndTransactions) {
+  const TransactionDatabase db = TransactionDatabase::FromTransactions(
+      {{0, 2}, {1, 2}, {2}});
+  const TransactionDatabase t = Transpose(db);
+  // Item 0 -> {t0}, item 1 -> {t1}, item 2 -> {t0,t1,t2}.
+  ASSERT_EQ(t.NumTransactions(), 3u);
+  EXPECT_EQ(t.transaction(0), (std::vector<ItemId>{0}));
+  EXPECT_EQ(t.transaction(1), (std::vector<ItemId>{1}));
+  EXPECT_EQ(t.transaction(2), (std::vector<ItemId>{0, 1, 2}));
+  EXPECT_EQ(t.NumItems(), 3u);
+}
+
+TEST(TransposeTest, DoubleTransposeIsIdentityWhenNoEmptyRows) {
+  const TransactionDatabase db = TransactionDatabase::FromTransactions(
+      {{0, 1}, {1, 2}, {0, 2}});
+  const TransactionDatabase back = Transpose(Transpose(db));
+  EXPECT_EQ(back.transactions(), db.transactions());
+}
+
+TEST(TransposeTest, SkipsUnusedItems) {
+  TransactionDatabase db = TransactionDatabase::FromTransactions({{5}});
+  // Items 0..4 unused: they produce no transposed transactions.
+  const TransactionDatabase t = Transpose(db);
+  EXPECT_EQ(t.NumTransactions(), 1u);
+  EXPECT_EQ(t.transaction(0), (std::vector<ItemId>{0}));
+}
+
+}  // namespace
+}  // namespace fim

@@ -1,0 +1,75 @@
+// Unit tests of the Carpenter duplicate repository.
+
+#include <gtest/gtest.h>
+
+#include "carpenter/repository.h"
+
+namespace fim {
+namespace {
+
+TEST(RepositoryTest, InsertThenContains) {
+  ClosedSetRepository repo(10);
+  const std::vector<ItemId> set = {1, 4, 7};
+  EXPECT_FALSE(repo.Contains(set));
+  EXPECT_TRUE(repo.InsertIfAbsent(set));
+  EXPECT_TRUE(repo.Contains(set));
+  EXPECT_FALSE(repo.InsertIfAbsent(set));  // second insert is a no-op
+  EXPECT_EQ(repo.size(), 1u);
+}
+
+TEST(RepositoryTest, PrefixIsNotMember) {
+  ClosedSetRepository repo(10);
+  EXPECT_TRUE(repo.InsertIfAbsent(std::vector<ItemId>{1, 4, 7}));
+  // {4, 7} shares the stored path's prefix (descending: 7, 4) but was
+  // never inserted itself.
+  EXPECT_FALSE(repo.Contains(std::vector<ItemId>{4, 7}));
+  EXPECT_TRUE(repo.InsertIfAbsent(std::vector<ItemId>{4, 7}));
+  EXPECT_TRUE(repo.Contains(std::vector<ItemId>{4, 7}));
+  EXPECT_EQ(repo.size(), 2u);
+}
+
+TEST(RepositoryTest, SupersetIsNotMember) {
+  ClosedSetRepository repo(10);
+  EXPECT_TRUE(repo.InsertIfAbsent(std::vector<ItemId>{4, 7}));
+  EXPECT_FALSE(repo.Contains(std::vector<ItemId>{1, 4, 7}));
+}
+
+TEST(RepositoryTest, SingleItemSets) {
+  ClosedSetRepository repo(5);
+  EXPECT_TRUE(repo.InsertIfAbsent(std::vector<ItemId>{3}));
+  EXPECT_TRUE(repo.Contains(std::vector<ItemId>{3}));
+  EXPECT_FALSE(repo.Contains(std::vector<ItemId>{2}));
+  EXPECT_FALSE(repo.InsertIfAbsent(std::vector<ItemId>{3}));
+}
+
+TEST(RepositoryTest, SiblingOrderMaintained) {
+  ClosedSetRepository repo(20);
+  // Insert children of item 19 in shuffled order; all must be found.
+  EXPECT_TRUE(repo.InsertIfAbsent(std::vector<ItemId>{5, 19}));
+  EXPECT_TRUE(repo.InsertIfAbsent(std::vector<ItemId>{11, 19}));
+  EXPECT_TRUE(repo.InsertIfAbsent(std::vector<ItemId>{2, 19}));
+  EXPECT_TRUE(repo.InsertIfAbsent(std::vector<ItemId>{8, 19}));
+  for (ItemId i : {5u, 11u, 2u, 8u}) {
+    EXPECT_TRUE(repo.Contains(std::vector<ItemId>{i, 19}));
+  }
+  EXPECT_FALSE(repo.Contains(std::vector<ItemId>{3, 19}));
+  EXPECT_EQ(repo.size(), 4u);
+}
+
+TEST(RepositoryTest, ManyDistinctSets) {
+  ClosedSetRepository repo(64);
+  std::size_t inserted = 0;
+  for (ItemId a = 0; a < 63; ++a) {
+    for (ItemId b = a + 1; b < 64; ++b) {
+      EXPECT_TRUE(repo.InsertIfAbsent(std::vector<ItemId>{a, b}));
+      ++inserted;
+    }
+  }
+  EXPECT_EQ(repo.size(), inserted);
+  // Every pair is found again, no false positives for triples.
+  EXPECT_TRUE(repo.Contains(std::vector<ItemId>{10, 20}));
+  EXPECT_FALSE(repo.Contains(std::vector<ItemId>{10, 20, 30}));
+}
+
+}  // namespace
+}  // namespace fim

@@ -1,0 +1,39 @@
+// Tests of the shape-based algorithm selector.
+
+#include <gtest/gtest.h>
+
+#include "api/select.h"
+#include "data/generators.h"
+#include "data/profiles.h"
+
+namespace fim {
+namespace {
+
+TEST(SelectTest, ManyItemsFewTransactionsPicksIntersection) {
+  // Gene-expression-like shape.
+  EXPECT_EQ(ChooseAlgorithm(MakeYeastLike(0.05, 42)), Algorithm::kIsta);
+  EXPECT_EQ(ChooseAlgorithm(MakeThrombinLike(0.02, 44)), Algorithm::kIsta);
+}
+
+TEST(SelectTest, ManyTransactionsFewItemsPicksEnumeration) {
+  MarketBasketConfig config;
+  config.num_items = 50;
+  config.num_transactions = 5000;
+  config.seed = 1;
+  EXPECT_EQ(ChooseAlgorithm(GenerateMarketBasket(config)), Algorithm::kLcm);
+}
+
+TEST(SelectTest, ThresholdIsConfigurable) {
+  DatabaseStats stats;
+  stats.num_transactions = 100;
+  stats.num_used_items = 150;
+  EXPECT_EQ(ChooseAlgorithm(stats, 1.0), Algorithm::kIsta);
+  EXPECT_EQ(ChooseAlgorithm(stats, 2.0), Algorithm::kLcm);
+}
+
+TEST(SelectTest, EmptyDatabaseDefaultsToIsta) {
+  EXPECT_EQ(ChooseAlgorithm(TransactionDatabase()), Algorithm::kIsta);
+}
+
+}  // namespace
+}  // namespace fim

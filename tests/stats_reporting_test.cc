@@ -1,0 +1,82 @@
+// Tests of the execution statistics the miners expose (used by the
+// ablation benches and by downstream users for capacity planning).
+
+#include <gtest/gtest.h>
+
+#include "carpenter/carpenter.h"
+#include "data/generators.h"
+#include "ista/ista.h"
+
+namespace fim {
+namespace {
+
+TEST(IstaStatsTest, TracksNodesAndPrunes) {
+  const TransactionDatabase db = GenerateRandomDense(20, 15, 0.4, 55);
+  IstaOptions options;
+  options.min_support = 2;
+  options.prune_node_threshold = 8;  // force several prunes
+  IstaStats stats;
+  std::size_t count = 0;
+  ASSERT_TRUE(MineClosedIsta(db, options,
+                             [&count](std::span<const ItemId>, Support) {
+                               ++count;
+                             },
+                             &stats)
+                  .ok());
+  EXPECT_GT(count, 0u);
+  EXPECT_GT(stats.peak_nodes, 0u);
+  EXPECT_GT(stats.prune_calls, 0u);
+  EXPECT_GT(stats.final_nodes, 0u);
+  EXPECT_LE(stats.final_nodes, stats.peak_nodes * 4);  // sanity
+}
+
+TEST(IstaStatsTest, ResetBetweenRuns) {
+  const TransactionDatabase db = GenerateRandomDense(5, 5, 0.5, 56);
+  IstaOptions options;
+  options.min_support = 1;
+  IstaStats stats;
+  stats.prune_calls = 999;  // stale value must be cleared
+  ASSERT_TRUE(
+      MineClosedIsta(db, options, [](auto, auto) {}, &stats).ok());
+  EXPECT_LT(stats.prune_calls, 999u);
+}
+
+TEST(CarpenterStatsTest, CountsNodesAndRepoActivity) {
+  const TransactionDatabase db = GenerateRandomDense(12, 10, 0.5, 57);
+  CarpenterOptions options;
+  options.min_support = 2;
+  for (bool table : {false, true}) {
+    CarpenterStats stats;
+    std::size_t count = 0;
+    auto run = table ? MineClosedCarpenterTable : MineClosedCarpenterLists;
+    ASSERT_TRUE(run(db, options,
+                    [&count](std::span<const ItemId>, Support) { ++count; },
+                    &stats)
+                    .ok());
+    EXPECT_GT(stats.nodes_visited, 0u) << (table ? "table" : "lists");
+    EXPECT_GT(stats.repo_sets, 0u);
+    // Every reported set corresponds to a visited node.
+    EXPECT_LE(count, stats.nodes_visited);
+  }
+}
+
+TEST(CarpenterStatsTest, RepoHitsOccurOnOverlappingData) {
+  // On dense random data, different transaction subsets frequently
+  // intersect to the same item set, so the duplicate repository must
+  // prune at least some branches over a collection of runs.
+  std::size_t total_hits = 0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const TransactionDatabase db = GenerateRandomDense(10, 6, 0.6, seed);
+    CarpenterOptions options;
+    options.min_support = 1;
+    CarpenterStats stats;
+    ASSERT_TRUE(MineClosedCarpenterLists(db, options, [](auto, auto) {},
+                                         &stats)
+                    .ok());
+    total_hits += stats.repo_hits;
+  }
+  EXPECT_GT(total_hits, 0u);
+}
+
+}  // namespace
+}  // namespace fim

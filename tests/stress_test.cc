@@ -1,0 +1,94 @@
+// Stress tests: deep recursion paths (very long transactions), wide item
+// bases, and many duplicate transactions — the regimes that crashed the
+// original Carpenter release the paper compared against (§5).
+
+#include <gtest/gtest.h>
+
+#include "api/miner.h"
+#include "verify/compare.h"
+
+namespace fim {
+namespace {
+
+TEST(StressTest, VeryLongSingleTransaction) {
+  // One transaction with 20000 items: tree/report recursion depth equals
+  // the transaction length.
+  std::vector<ItemId> wide(20000);
+  for (std::size_t i = 0; i < wide.size(); ++i) {
+    wide[i] = static_cast<ItemId>(i);
+  }
+  const TransactionDatabase db = TransactionDatabase::FromTransactions(
+      {wide, wide});
+  for (Algorithm algorithm :
+       {Algorithm::kIsta, Algorithm::kCarpenterLists,
+        Algorithm::kCarpenterTable, Algorithm::kLcm}) {
+    MinerOptions options;
+    options.algorithm = algorithm;
+    options.min_support = 2;
+    auto result = MineClosedCollect(db, options);
+    ASSERT_TRUE(result.ok()) << AlgorithmName(algorithm);
+    ASSERT_EQ(result.value().size(), 1u) << AlgorithmName(algorithm);
+    EXPECT_EQ(result.value()[0].items.size(), wide.size());
+    EXPECT_EQ(result.value()[0].support, 2u);
+  }
+}
+
+TEST(StressTest, LongOverlappingTransactions) {
+  // Nested long transactions produce a deep chain of closed sets.
+  std::vector<std::vector<ItemId>> tx;
+  const std::size_t kDepth = 2000;
+  std::vector<ItemId> items;
+  for (std::size_t k = 0; k < kDepth; ++k) {
+    items.push_back(static_cast<ItemId>(k));
+    if (k % 50 == 0) tx.push_back(items);
+  }
+  const TransactionDatabase db = TransactionDatabase::FromTransactions(tx);
+  MinerOptions a;
+  a.algorithm = Algorithm::kIsta;
+  a.min_support = 1;
+  auto ista = MineClosedCollect(db, a);
+  ASSERT_TRUE(ista.ok());
+  EXPECT_EQ(ista.value().size(), tx.size());  // every prefix is closed
+
+  MinerOptions b = a;
+  b.algorithm = Algorithm::kCarpenterTable;
+  auto carp = MineClosedCollect(db, b);
+  ASSERT_TRUE(carp.ok());
+  EXPECT_TRUE(SameResults(ista.value(), carp.value()));
+}
+
+TEST(StressTest, ManyDuplicateTransactions) {
+  std::vector<std::vector<ItemId>> tx(5000, {1, 2, 3});
+  for (int i = 0; i < 100; ++i) tx.push_back({1, 2});
+  const TransactionDatabase db = TransactionDatabase::FromTransactions(tx);
+  for (Algorithm algorithm : AllAlgorithms()) {
+    MinerOptions options;
+    options.algorithm = algorithm;
+    options.min_support = 50;
+    auto result = MineClosedCollect(db, options);
+    ASSERT_TRUE(result.ok()) << AlgorithmName(algorithm);
+    ASSERT_EQ(result.value().size(), 2u) << AlgorithmName(algorithm);
+    EXPECT_EQ(result.value()[0].support, 5100u);  // {1,2}
+    EXPECT_EQ(result.value()[1].support, 5000u);  // {1,2,3}
+  }
+}
+
+TEST(StressTest, HugeSparseItemUniverse) {
+  // Item ids spread over a 3-million universe; only a handful used.
+  const TransactionDatabase db = TransactionDatabase::FromTransactions({
+      {10, 2000000, 2999999},
+      {10, 2999999},
+      {2000000, 2999999},
+  });
+  for (Algorithm algorithm : AllAlgorithms()) {
+    MinerOptions options;
+    options.algorithm = algorithm;
+    options.min_support = 2;
+    auto result = MineClosedCollect(db, options);
+    ASSERT_TRUE(result.ok()) << AlgorithmName(algorithm);
+    EXPECT_EQ(result.value().size(), 3u) << AlgorithmName(algorithm);
+  }
+}
+
+}  // namespace
+}  // namespace fim

@@ -1,0 +1,214 @@
+// End-to-end pipeline test of the command-line tools:
+// fim-gen -> (fim-discretize) -> fim-mine -> parsed results verified
+// against the library and the definitional closedness check.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "api/miner.h"
+#include "data/fimi_io.h"
+#include "data/result_io.h"
+#include "verify/closedness.h"
+#include "verify/compare.h"
+
+namespace fim {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+int RunCmd(const std::string& cmd) { return std::system(cmd.c_str()); }
+
+TEST(ToolsPipelineTest, GenerateMineVerify) {
+  const std::string data = TempPath("pipeline_data.fimi");
+  const std::string result = TempPath("pipeline_result.txt");
+
+  ASSERT_EQ(RunCmd(std::string(FIM_GEN_BINARY) +
+                " -p basket -c 0.02 -r 9 " + data + " 2>/dev/null"),
+            0);
+  ASSERT_EQ(RunCmd(std::string(FIM_MINE_BINARY) + " -q -a carpenter-table -s 5 " +
+                data + " " + result),
+            0);
+
+  auto db = ReadFimiFile(data);
+  ASSERT_TRUE(db.ok());
+  auto mined = ReadClosedSetsFile(result);
+  ASSERT_TRUE(mined.ok());
+
+  // Sound by definition...
+  ASSERT_TRUE(VerifyClosedSets(db.value(), mined.value(), 5).ok());
+  // ...and identical to the library's in-process result.
+  MinerOptions options;
+  options.min_support = 5;
+  auto expected = MineClosedCollect(db.value(), options);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(SameResults(expected.value(), mined.value()))
+      << DiffResults(expected.value(), mined.value());
+}
+
+TEST(ToolsPipelineTest, ExpressionDiscretizeMine) {
+  const std::string matrix = TempPath("pipeline_expr.tsv");
+  const std::string data = TempPath("pipeline_expr.fimi");
+  const std::string result = TempPath("pipeline_expr_result.txt");
+
+  ASSERT_EQ(RunCmd(std::string(FIM_GEN_BINARY) + " -p expression -c 0.05 -r 4 " +
+                matrix + " 2>/dev/null"),
+            0);
+  ASSERT_EQ(RunCmd(std::string(FIM_DISCRETIZE_BINARY) + " -t " + matrix + " " +
+                data + " 2>/dev/null"),
+            0);
+  ASSERT_EQ(RunCmd(std::string(FIM_MINE_BINARY) + " -q -a ista -S 30 " + data +
+                " " + result),
+            0);
+
+  auto db = ReadFimiFile(data);
+  ASSERT_TRUE(db.ok());
+  auto mined = ReadClosedSetsFile(result);
+  ASSERT_TRUE(mined.ok());
+  ASSERT_FALSE(mined.value().empty());
+  const Support smin = static_cast<Support>(
+      (db.value().NumTransactions() * 30 + 99) / 100);
+  EXPECT_TRUE(VerifyClosedSets(db.value(), mined.value(), smin).ok());
+}
+
+TEST(ToolsPipelineTest, MaximalOutputIsSubsetOfClosed) {
+  const std::string data = TempPath("pipeline_max.fimi");
+  const std::string closed_out = TempPath("pipeline_closed.txt");
+  const std::string maximal_out = TempPath("pipeline_maximal.txt");
+
+  ASSERT_EQ(RunCmd(std::string(FIM_GEN_BINARY) + " -p basket -c 0.02 -r 11 " +
+                data + " 2>/dev/null"),
+            0);
+  ASSERT_EQ(RunCmd(std::string(FIM_MINE_BINARY) + " -q -s 4 " + data + " " +
+                closed_out),
+            0);
+  ASSERT_EQ(RunCmd(std::string(FIM_MINE_BINARY) + " -q -m -s 4 " + data + " " +
+                maximal_out),
+            0);
+
+  auto closed = ReadClosedSetsFile(closed_out);
+  auto maximal = ReadClosedSetsFile(maximal_out);
+  ASSERT_TRUE(closed.ok());
+  ASSERT_TRUE(maximal.ok());
+  ASSERT_FALSE(maximal.value().empty());
+  EXPECT_LE(maximal.value().size(), closed.value().size());
+  // Every maximal set appears among the closed sets with equal support.
+  for (const auto& m : maximal.value()) {
+    bool found = false;
+    for (const auto& c : closed.value()) {
+      if (c.items == m.items && c.support == m.support) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << ItemsToString(m.items);
+  }
+}
+
+
+TEST(ToolsPipelineTest, VerifyAcceptsCorrectAndRejectsCorrupted) {
+  const std::string data = TempPath("pipeline_verify.fimi");
+  const std::string good = TempPath("pipeline_verify_good.txt");
+  const std::string bad = TempPath("pipeline_verify_bad.txt");
+
+  ASSERT_EQ(RunCmd(std::string(FIM_GEN_BINARY) + " -p basket -c 0.02 -r 21 " +
+                   data + " 2>/dev/null"),
+            0);
+  ASSERT_EQ(RunCmd(std::string(FIM_MINE_BINARY) + " -q -s 6 " + data + " " +
+                   good),
+            0);
+  ASSERT_EQ(RunCmd(std::string(FIM_VERIFY_BINARY) + " -s 6 " + data + " " +
+                   good + " 2>/dev/null"),
+            0);
+
+  // Corrupt one support value: verification must fail.
+  {
+    std::ifstream in(good);
+    std::ofstream out(bad);
+    std::string line;
+    bool corrupted = false;
+    while (std::getline(in, line)) {
+      if (!corrupted && !line.empty()) {
+        line = line.substr(0, line.find('(')) + "(99999)";
+        corrupted = true;
+      }
+      out << line << "\n";
+    }
+  }
+  EXPECT_NE(RunCmd(std::string(FIM_VERIFY_BINARY) + " -s 6 " + data + " " +
+                   bad + " 2>/dev/null"),
+            0);
+}
+
+TEST(ToolsPipelineTest, RulesToolEmitsValidRules) {
+  const std::string data = TempPath("pipeline_rules.fimi");
+  const std::string out = TempPath("pipeline_rules.txt");
+  ASSERT_EQ(RunCmd(std::string(FIM_GEN_BINARY) + " -p basket -c 0.03 -r 15 " +
+                   data + " 2>/dev/null"),
+            0);
+  ASSERT_EQ(RunCmd(std::string(FIM_RULES_BINARY) +
+                   " -s 5 -c 0.5 -k 20 " + data + " " + out + " 2>/dev/null"),
+            0);
+  std::ifstream in(out);
+  std::string line;
+  std::size_t rules = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    EXPECT_NE(line.find(" -> "), std::string::npos) << line;
+    ++rules;
+  }
+  EXPECT_GT(rules, 0u);
+  EXPECT_LE(rules, 20u);
+}
+
+TEST(ToolsPipelineTest, QuantileDiscretizeProducesMineableData) {
+  const std::string matrix = TempPath("pipeline_q.tsv");
+  const std::string data = TempPath("pipeline_q.fimi");
+  ASSERT_EQ(RunCmd(std::string(FIM_GEN_BINARY) + " -p expression -c 0.05 "
+                   "-r 6 " + matrix + " 2>/dev/null"),
+            0);
+  ASSERT_EQ(RunCmd(std::string(FIM_DISCRETIZE_BINARY) + " -Q 0.08 -t " +
+                   matrix + " " + data + " 2>/dev/null"),
+            0);
+  auto db = ReadFimiFile(data);
+  ASSERT_TRUE(db.ok());
+  EXPECT_GT(db.value().NumTransactions(), 0u);
+  // Roughly 16% of the matrix entries become items (two 8% tails).
+  const double occupancy =
+      static_cast<double>(db.value().TotalItemOccurrences()) /
+      (static_cast<double>(db.value().NumTransactions()) *
+       static_cast<double>(db.value().NumItems() / 2));
+  EXPECT_NEAR(occupancy, 0.16, 0.03);
+}
+
+TEST(ToolsPipelineTest, BinaryFormatMinesIdentically) {
+  const std::string text = TempPath("pipeline_bin.fimi");
+  const std::string binary = TempPath("pipeline_bin.fimb");
+  const std::string out_text = TempPath("pipeline_bin_text.txt");
+  const std::string out_binary = TempPath("pipeline_bin_binary.txt");
+
+  ASSERT_EQ(RunCmd(std::string(FIM_GEN_BINARY) + " -p basket -c 0.02 -r 31 " +
+                   text + " 2>/dev/null"),
+            0);
+  ASSERT_EQ(RunCmd(std::string(FIM_GEN_BINARY) +
+                   " -p basket -c 0.02 -r 31 -b " + binary + " 2>/dev/null"),
+            0);
+  ASSERT_EQ(RunCmd(std::string(FIM_MINE_BINARY) + " -q -s 5 " + text + " " +
+                   out_text),
+            0);
+  ASSERT_EQ(RunCmd(std::string(FIM_MINE_BINARY) + " -q -s 5 " + binary + " " +
+                   out_binary),
+            0);
+  auto a = ReadClosedSetsFile(out_text);
+  auto b = ReadClosedSetsFile(out_binary);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(SameResults(a.value(), b.value()));
+  EXPECT_FALSE(a.value().empty());
+}
+}  // namespace
+}  // namespace fim

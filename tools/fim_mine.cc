@@ -1,0 +1,170 @@
+// fim-mine: command-line closed frequent item set miner over FIMI or
+// FIMB files, in the spirit of the original ista/carpenter command-line
+// programs.
+//
+//   fim-mine [-a algorithm] [-s minsupp | -S percent] [-m] [-q] input [output]
+//
+//   -a NAME   ista | carpenter-lists | carpenter-table | flat-cumulative |
+//             fpclose | lcm | charm | transposed | cobbler (default: ista)
+//   -s N      absolute minimum support            (default: 2)
+//   -S P      relative minimum support in percent (overrides -s)
+//   -m        report only maximal frequent item sets
+//   -q        quiet: no stats on stderr
+//   input     transaction file, FIMI text or FIMB binary (auto-detected)
+//   output    result file; "-" or absent: stdout
+//
+// Output lines: the items of a set separated by spaces, followed by the
+// absolute support in parentheses, e.g. "3 17 42 (57)".
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "api/miner.h"
+#include "common/timer.h"
+#include "data/binary_io.h"
+#include "data/fimi_io.h"
+#include "data/stats.h"
+#include "rules/derive.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: fim-mine [-a algorithm] [-s minsupp | -S percent] "
+               "[-m] [-q] input [output]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fim;
+
+  Algorithm algorithm = Algorithm::kIsta;
+  Support min_support = 2;
+  double percent = -1.0;
+  bool maximal_only = false;
+  bool quiet = false;
+  std::string input;
+  std::string output = "-";
+
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "-a") == 0) {
+      auto parsed = ParseAlgorithm(next_value());
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+        return 2;
+      }
+      algorithm = parsed.value();
+    } else if (std::strcmp(arg, "-s") == 0) {
+      min_support = static_cast<Support>(std::atoll(next_value()));
+    } else if (std::strcmp(arg, "-S") == 0) {
+      percent = std::atof(next_value());
+    } else if (std::strcmp(arg, "-m") == 0) {
+      maximal_only = true;
+    } else if (std::strcmp(arg, "-q") == 0) {
+      quiet = true;
+    } else if (std::strcmp(arg, "-h") == 0 ||
+               std::strcmp(arg, "--help") == 0) {
+      Usage();
+      return 0;
+    } else if (positional == 0) {
+      input = arg;
+      ++positional;
+    } else if (positional == 1) {
+      output = arg;
+      ++positional;
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  if (input.empty()) {
+    Usage();
+    return 2;
+  }
+
+  WallTimer total;
+  auto loaded = ReadDatabaseFile(input);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error reading %s: %s\n", input.c_str(),
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  const TransactionDatabase& db = loaded.value();
+  if (percent >= 0.0) {
+    min_support = static_cast<Support>(std::ceil(
+        percent / 100.0 * static_cast<double>(db.NumTransactions())));
+    if (min_support == 0) min_support = 1;
+  }
+  if (!quiet) {
+    std::fprintf(stderr, "fim-mine: %s; algorithm %s, min support %u\n",
+                 StatsToString(ComputeStats(db)).c_str(),
+                 AlgorithmName(algorithm), min_support);
+  }
+
+  MinerOptions options;
+  options.algorithm = algorithm;
+  options.min_support = min_support;
+
+  std::ofstream file_out;
+  std::ostream* out = &std::cout;
+  if (output != "-") {
+    file_out.open(output, std::ios::trunc);
+    if (!file_out) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n",
+                   output.c_str());
+      return 1;
+    }
+    out = &file_out;
+  }
+
+  WallTimer mining;
+  std::size_t count = 0;
+  Status status;
+  auto print_set = [&](std::span<const ItemId> items, Support support) {
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) *out << ' ';
+      *out << items[i];
+    }
+    *out << " (" << support << ")\n";
+    ++count;
+  };
+
+  if (maximal_only) {
+    auto closed = MineClosedCollect(db, options);
+    if (!closed.ok()) {
+      status = closed.status();
+    } else {
+      for (const auto& set : FilterMaximal(std::move(closed).value())) {
+        print_set(set.items, set.support);
+      }
+    }
+  } else {
+    status = MineClosed(db, options, print_set);
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "mining failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  out->flush();
+  if (!quiet) {
+    std::fprintf(stderr,
+                 "fim-mine: %zu %s item sets in %.3fs (%.3fs total)\n", count,
+                 maximal_only ? "maximal" : "closed", mining.Seconds(),
+                 total.Seconds());
+  }
+  return 0;
+}
