@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_orders.dir/ablation_orders.cc.o"
+  "CMakeFiles/bench_ablation_orders.dir/ablation_orders.cc.o.d"
+  "bench_ablation_orders"
+  "bench_ablation_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_yeast.dir/fig5_yeast.cc.o"
+  "CMakeFiles/bench_fig5_yeast.dir/fig5_yeast.cc.o.d"
+  "bench_fig5_yeast"
+  "bench_fig5_yeast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_yeast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_thrombin.dir/fig7_thrombin.cc.o"
+  "CMakeFiles/bench_fig7_thrombin.dir/fig7_thrombin.cc.o.d"
+  "bench_fig7_thrombin"
+  "bench_fig7_thrombin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_thrombin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

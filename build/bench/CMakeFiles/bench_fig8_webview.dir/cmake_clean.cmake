@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_webview.dir/fig8_webview.cc.o"
+  "CMakeFiles/bench_fig8_webview.dir/fig8_webview.cc.o.d"
+  "bench_fig8_webview"
+  "bench_fig8_webview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_webview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_prefix_tree.dir/micro_prefix_tree.cc.o"
+  "CMakeFiles/bench_micro_prefix_tree.dir/micro_prefix_tree.cc.o.d"
+  "bench_micro_prefix_tree"
+  "bench_micro_prefix_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_prefix_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fim_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/fim_bench_util.dir/bench_util.cc.o.d"
+  "libfim_bench_util.a"
+  "libfim_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fim_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfim_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galois_playground.dir/galois_playground.cpp.o"
+  "CMakeFiles/galois_playground.dir/galois_playground.cpp.o.d"
+  "galois_playground"
+  "galois_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galois_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

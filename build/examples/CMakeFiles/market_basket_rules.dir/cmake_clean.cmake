@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_basket_rules.dir/market_basket_rules.cpp.o"
+  "CMakeFiles/market_basket_rules.dir/market_basket_rules.cpp.o.d"
+  "market_basket_rules"
+  "market_basket_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_basket_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/constrained.cc" "src/CMakeFiles/fim.dir/api/constrained.cc.o" "gcc" "src/CMakeFiles/fim.dir/api/constrained.cc.o.d"
+  "/root/repo/src/api/miner.cc" "src/CMakeFiles/fim.dir/api/miner.cc.o" "gcc" "src/CMakeFiles/fim.dir/api/miner.cc.o.d"
+  "/root/repo/src/api/select.cc" "src/CMakeFiles/fim.dir/api/select.cc.o" "gcc" "src/CMakeFiles/fim.dir/api/select.cc.o.d"
+  "/root/repo/src/api/topk.cc" "src/CMakeFiles/fim.dir/api/topk.cc.o" "gcc" "src/CMakeFiles/fim.dir/api/topk.cc.o.d"
+  "/root/repo/src/carpenter/carpenter_lists.cc" "src/CMakeFiles/fim.dir/carpenter/carpenter_lists.cc.o" "gcc" "src/CMakeFiles/fim.dir/carpenter/carpenter_lists.cc.o.d"
+  "/root/repo/src/carpenter/carpenter_table.cc" "src/CMakeFiles/fim.dir/carpenter/carpenter_table.cc.o" "gcc" "src/CMakeFiles/fim.dir/carpenter/carpenter_table.cc.o.d"
+  "/root/repo/src/carpenter/cobbler.cc" "src/CMakeFiles/fim.dir/carpenter/cobbler.cc.o" "gcc" "src/CMakeFiles/fim.dir/carpenter/cobbler.cc.o.d"
+  "/root/repo/src/carpenter/repository.cc" "src/CMakeFiles/fim.dir/carpenter/repository.cc.o" "gcc" "src/CMakeFiles/fim.dir/carpenter/repository.cc.o.d"
+  "/root/repo/src/common/bitset.cc" "src/CMakeFiles/fim.dir/common/bitset.cc.o" "gcc" "src/CMakeFiles/fim.dir/common/bitset.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/fim.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/fim.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/fim.dir/common/status.cc.o" "gcc" "src/CMakeFiles/fim.dir/common/status.cc.o.d"
+  "/root/repo/src/cumulative/flat_cumulative.cc" "src/CMakeFiles/fim.dir/cumulative/flat_cumulative.cc.o" "gcc" "src/CMakeFiles/fim.dir/cumulative/flat_cumulative.cc.o.d"
+  "/root/repo/src/data/binary_io.cc" "src/CMakeFiles/fim.dir/data/binary_io.cc.o" "gcc" "src/CMakeFiles/fim.dir/data/binary_io.cc.o.d"
+  "/root/repo/src/data/expression.cc" "src/CMakeFiles/fim.dir/data/expression.cc.o" "gcc" "src/CMakeFiles/fim.dir/data/expression.cc.o.d"
+  "/root/repo/src/data/fimi_io.cc" "src/CMakeFiles/fim.dir/data/fimi_io.cc.o" "gcc" "src/CMakeFiles/fim.dir/data/fimi_io.cc.o.d"
+  "/root/repo/src/data/generators.cc" "src/CMakeFiles/fim.dir/data/generators.cc.o" "gcc" "src/CMakeFiles/fim.dir/data/generators.cc.o.d"
+  "/root/repo/src/data/itemset.cc" "src/CMakeFiles/fim.dir/data/itemset.cc.o" "gcc" "src/CMakeFiles/fim.dir/data/itemset.cc.o.d"
+  "/root/repo/src/data/matrix_io.cc" "src/CMakeFiles/fim.dir/data/matrix_io.cc.o" "gcc" "src/CMakeFiles/fim.dir/data/matrix_io.cc.o.d"
+  "/root/repo/src/data/profiles.cc" "src/CMakeFiles/fim.dir/data/profiles.cc.o" "gcc" "src/CMakeFiles/fim.dir/data/profiles.cc.o.d"
+  "/root/repo/src/data/recode.cc" "src/CMakeFiles/fim.dir/data/recode.cc.o" "gcc" "src/CMakeFiles/fim.dir/data/recode.cc.o.d"
+  "/root/repo/src/data/result_io.cc" "src/CMakeFiles/fim.dir/data/result_io.cc.o" "gcc" "src/CMakeFiles/fim.dir/data/result_io.cc.o.d"
+  "/root/repo/src/data/stats.cc" "src/CMakeFiles/fim.dir/data/stats.cc.o" "gcc" "src/CMakeFiles/fim.dir/data/stats.cc.o.d"
+  "/root/repo/src/data/transaction_database.cc" "src/CMakeFiles/fim.dir/data/transaction_database.cc.o" "gcc" "src/CMakeFiles/fim.dir/data/transaction_database.cc.o.d"
+  "/root/repo/src/data/transpose.cc" "src/CMakeFiles/fim.dir/data/transpose.cc.o" "gcc" "src/CMakeFiles/fim.dir/data/transpose.cc.o.d"
+  "/root/repo/src/enumeration/apriori.cc" "src/CMakeFiles/fim.dir/enumeration/apriori.cc.o" "gcc" "src/CMakeFiles/fim.dir/enumeration/apriori.cc.o.d"
+  "/root/repo/src/enumeration/charm.cc" "src/CMakeFiles/fim.dir/enumeration/charm.cc.o" "gcc" "src/CMakeFiles/fim.dir/enumeration/charm.cc.o.d"
+  "/root/repo/src/enumeration/declat.cc" "src/CMakeFiles/fim.dir/enumeration/declat.cc.o" "gcc" "src/CMakeFiles/fim.dir/enumeration/declat.cc.o.d"
+  "/root/repo/src/enumeration/eclat.cc" "src/CMakeFiles/fim.dir/enumeration/eclat.cc.o" "gcc" "src/CMakeFiles/fim.dir/enumeration/eclat.cc.o.d"
+  "/root/repo/src/enumeration/fpclose.cc" "src/CMakeFiles/fim.dir/enumeration/fpclose.cc.o" "gcc" "src/CMakeFiles/fim.dir/enumeration/fpclose.cc.o.d"
+  "/root/repo/src/enumeration/fptree.cc" "src/CMakeFiles/fim.dir/enumeration/fptree.cc.o" "gcc" "src/CMakeFiles/fim.dir/enumeration/fptree.cc.o.d"
+  "/root/repo/src/enumeration/lcm.cc" "src/CMakeFiles/fim.dir/enumeration/lcm.cc.o" "gcc" "src/CMakeFiles/fim.dir/enumeration/lcm.cc.o.d"
+  "/root/repo/src/enumeration/transposed.cc" "src/CMakeFiles/fim.dir/enumeration/transposed.cc.o" "gcc" "src/CMakeFiles/fim.dir/enumeration/transposed.cc.o.d"
+  "/root/repo/src/ista/incremental.cc" "src/CMakeFiles/fim.dir/ista/incremental.cc.o" "gcc" "src/CMakeFiles/fim.dir/ista/incremental.cc.o.d"
+  "/root/repo/src/ista/ista.cc" "src/CMakeFiles/fim.dir/ista/ista.cc.o" "gcc" "src/CMakeFiles/fim.dir/ista/ista.cc.o.d"
+  "/root/repo/src/ista/prefix_tree.cc" "src/CMakeFiles/fim.dir/ista/prefix_tree.cc.o" "gcc" "src/CMakeFiles/fim.dir/ista/prefix_tree.cc.o.d"
+  "/root/repo/src/rules/derive.cc" "src/CMakeFiles/fim.dir/rules/derive.cc.o" "gcc" "src/CMakeFiles/fim.dir/rules/derive.cc.o.d"
+  "/root/repo/src/rules/rules.cc" "src/CMakeFiles/fim.dir/rules/rules.cc.o" "gcc" "src/CMakeFiles/fim.dir/rules/rules.cc.o.d"
+  "/root/repo/src/verify/closedness.cc" "src/CMakeFiles/fim.dir/verify/closedness.cc.o" "gcc" "src/CMakeFiles/fim.dir/verify/closedness.cc.o.d"
+  "/root/repo/src/verify/compare.cc" "src/CMakeFiles/fim.dir/verify/compare.cc.o" "gcc" "src/CMakeFiles/fim.dir/verify/compare.cc.o.d"
+  "/root/repo/src/verify/galois.cc" "src/CMakeFiles/fim.dir/verify/galois.cc.o" "gcc" "src/CMakeFiles/fim.dir/verify/galois.cc.o.d"
+  "/root/repo/src/verify/oracle.cc" "src/CMakeFiles/fim.dir/verify/oracle.cc.o" "gcc" "src/CMakeFiles/fim.dir/verify/oracle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobbler_test.dir/cobbler_test.cc.o"
+  "CMakeFiles/cobbler_test.dir/cobbler_test.cc.o.d"
+  "cobbler_test"
+  "cobbler_test.pdb"
+  "cobbler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobbler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

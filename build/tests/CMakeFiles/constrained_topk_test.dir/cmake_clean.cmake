@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constrained_topk_test.dir/constrained_topk_test.cc.o"
+  "CMakeFiles/constrained_topk_test.dir/constrained_topk_test.cc.o.d"
+  "constrained_topk_test"
+  "constrained_topk_test.pdb"
+  "constrained_topk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constrained_topk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/differential_large_test.dir/differential_large_test.cc.o"
+  "CMakeFiles/differential_large_test.dir/differential_large_test.cc.o.d"
+  "differential_large_test"
+  "differential_large_test.pdb"
+  "differential_large_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/differential_large_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enumeration_deep_test.dir/enumeration_deep_test.cc.o"
+  "CMakeFiles/enumeration_deep_test.dir/enumeration_deep_test.cc.o.d"
+  "enumeration_deep_test"
+  "enumeration_deep_test.pdb"
+  "enumeration_deep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enumeration_deep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frequent_miners_test.dir/frequent_miners_test.cc.o"
+  "CMakeFiles/frequent_miners_test.dir/frequent_miners_test.cc.o.d"
+  "frequent_miners_test"
+  "frequent_miners_test.pdb"
+  "frequent_miners_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frequent_miners_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miners_small_test.dir/miners_small_test.cc.o"
+  "CMakeFiles/miners_small_test.dir/miners_small_test.cc.o.d"
+  "miners_small_test"
+  "miners_small_test.pdb"
+  "miners_small_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miners_small_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_lcm_test.dir/parallel_lcm_test.cc.o"
+  "CMakeFiles/parallel_lcm_test.dir/parallel_lcm_test.cc.o.d"
+  "parallel_lcm_test"
+  "parallel_lcm_test.pdb"
+  "parallel_lcm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_lcm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiles_equivalence_test.dir/profiles_equivalence_test.cc.o"
+  "CMakeFiles/profiles_equivalence_test.dir/profiles_equivalence_test.cc.o.d"
+  "profiles_equivalence_test"
+  "profiles_equivalence_test.pdb"
+  "profiles_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiles_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recode_test.dir/recode_test.cc.o"
+  "CMakeFiles/recode_test.dir/recode_test.cc.o.d"
+  "recode_test"
+  "recode_test.pdb"
+  "recode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

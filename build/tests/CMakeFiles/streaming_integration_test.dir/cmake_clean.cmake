@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_integration_test.dir/streaming_integration_test.cc.o"
+  "CMakeFiles/streaming_integration_test.dir/streaming_integration_test.cc.o.d"
+  "streaming_integration_test"
+  "streaming_integration_test.pdb"
+  "streaming_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tools_pipeline_test.dir/tools_pipeline_test.cc.o"
+  "CMakeFiles/tools_pipeline_test.dir/tools_pipeline_test.cc.o.d"
+  "tools_pipeline_test"
+  "tools_pipeline_test.pdb"
+  "tools_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tools_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fim-discretize.dir/fim_discretize.cc.o"
+  "CMakeFiles/fim-discretize.dir/fim_discretize.cc.o.d"
+  "fim-discretize"
+  "fim-discretize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fim-discretize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fim-gen.dir/fim_gen.cc.o"
+  "CMakeFiles/fim-gen.dir/fim_gen.cc.o.d"
+  "fim-gen"
+  "fim-gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fim-gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fim-mine.dir/fim_mine.cc.o"
+  "CMakeFiles/fim-mine.dir/fim_mine.cc.o.d"
+  "fim-mine"
+  "fim-mine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fim-mine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fim-rules.dir/fim_rules.cc.o"
+  "CMakeFiles/fim-rules.dir/fim_rules.cc.o.d"
+  "fim-rules"
+  "fim-rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fim-rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

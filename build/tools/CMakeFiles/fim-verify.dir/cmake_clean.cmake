@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fim-verify.dir/fim_verify.cc.o"
+  "CMakeFiles/fim-verify.dir/fim_verify.cc.o.d"
+  "fim-verify"
+  "fim-verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fim-verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
