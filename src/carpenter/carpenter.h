@@ -2,6 +2,7 @@
 #define FIM_CARPENTER_CARPENTER_H_
 
 #include <cstddef>
+#include <span>
 
 #include "common/status.h"
 #include "data/itemset.h"
@@ -56,6 +57,20 @@ Status MineClosedCarpenterTable(const TransactionDatabase& db,
 /// [k * num_items, (k+1) * num_items)). Exposed for tests (Table 1) and
 /// benches.
 std::vector<Support> BuildCarpenterMatrix(const TransactionDatabase& db);
+
+/// Checks that `matrix` is a well-formed §3.1.2 occurrence matrix for
+/// `db` (Table 1) and returns OK, or an Internal status naming the first
+/// violated invariant:
+///   - the matrix has NumTransactions() x NumItems() entries;
+///   - zero consistency: entry (k, i) is zero exactly when item i is not
+///     in transaction k;
+///   - down each column, non-zero entries are strictly decreasing and
+///     each equals the number of transactions from row k onward that
+///     contain the item (so the bottom-most non-zero entry is 1).
+/// O(n * |B|). Debug builds run this automatically when the table miner
+/// materializes its matrix; tests and fim-verify call it on demand.
+Status ValidateCarpenterMatrix(const TransactionDatabase& db,
+                               std::span<const Support> matrix);
 
 }  // namespace fim
 

@@ -1,7 +1,9 @@
+#include <string>
 #include <vector>
 
 #include "carpenter/carpenter.h"
 #include "carpenter/repository.h"
+#include "common/check.h"
 
 namespace fim {
 
@@ -20,6 +22,57 @@ std::vector<Support> BuildCarpenterMatrix(const TransactionDatabase& db) {
   return matrix;
 }
 
+Status ValidateCarpenterMatrix(const TransactionDatabase& db,
+                               std::span<const Support> matrix) {
+  const std::size_t n = db.NumTransactions();
+  const std::size_t m = db.NumItems();
+  if (matrix.size() != n * m) {
+    return Status::Internal(
+        "carpenter matrix: size " + std::to_string(matrix.size()) + " != " +
+        std::to_string(n) + " transactions x " + std::to_string(m) +
+        " items");
+  }
+  // Sweep bottom-up, maintaining per column the suffix occurrence count
+  // and re-deriving the expected entry of every cell.
+  std::vector<Support> suffix_count(m, 0);
+  std::vector<uint8_t> member(m, 0);
+  for (std::size_t k = n; k > 0; --k) {
+    const std::size_t row = k - 1;
+    for (ItemId i : db.transaction(row)) member[i] = 1;
+    for (std::size_t i = 0; i < m; ++i) {
+      const Support entry = matrix[row * m + i];
+      if (!member[i]) {
+        if (entry != 0) {
+          return Status::Internal(
+              "carpenter matrix: zero consistency violated at row " +
+              std::to_string(row) + " item " + std::to_string(i) +
+              ": entry " + std::to_string(entry) +
+              " for an item not in the transaction");
+        }
+        continue;
+      }
+      if (entry == 0) {
+        return Status::Internal(
+            "carpenter matrix: zero consistency violated at row " +
+            std::to_string(row) + " item " + std::to_string(i) +
+            ": zero entry for an item of the transaction");
+      }
+      // Non-zero entries of a column are the suffix occurrence counts, so
+      // going down they decrease by exactly one per occurrence.
+      if (entry != suffix_count[i] + 1) {
+        return Status::Internal(
+            "carpenter matrix: column " + std::to_string(i) +
+            " not a decreasing suffix count at row " + std::to_string(row) +
+            ": entry " + std::to_string(entry) + ", expected " +
+            std::to_string(suffix_count[i] + 1));
+      }
+      suffix_count[i] = entry;
+    }
+    for (ItemId i : db.transaction(row)) member[i] = 0;
+  }
+  return Status::OK();
+}
+
 namespace {
 
 class TableMiner {
@@ -33,7 +86,9 @@ class TableMiner {
         item_elimination_(options.item_elimination),
         callback_(callback),
         repo_(coded.NumItems()),
-        stats_(stats) {}
+        stats_(stats) {
+    FIM_DCHECK_OK(ValidateCarpenterMatrix(coded, matrix_));
+  }
 
   void Run() {
     std::vector<ItemId> initial;

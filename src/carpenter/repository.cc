@@ -1,6 +1,10 @@
 #include "carpenter/repository.h"
 
-#include <cassert>
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
 
 namespace fim {
 
@@ -38,7 +42,13 @@ uint32_t ClosedSetRepository::FindChild(uint32_t parent, ItemId item) const {
 }
 
 bool ClosedSetRepository::InsertIfAbsent(std::span<const ItemId> items) {
-  assert(!items.empty());
+  FIM_CHECK(!items.empty()) << "cannot store the empty set";
+  FIM_DCHECK(std::is_sorted(items.begin(), items.end()) &&
+             std::adjacent_find(items.begin(), items.end()) == items.end())
+      << "stored sets must be sorted ascending and duplicate-free";
+  FIM_DCHECK(items.back() < top_.size())
+      << "item " << items.back() << " out of range (num_items "
+      << top_.size() << ")";
   const ItemId first = items.back();  // highest item heads the path
   uint32_t node = top_[first];
   if (node == kNil) {
@@ -51,6 +61,11 @@ bool ClosedSetRepository::InsertIfAbsent(std::span<const ItemId> items) {
   if (nodes_[node].terminal) return false;
   nodes_[node].terminal = 1;
   ++stored_;
+  // Full validation is O(nodes); amortize it over power-of-two sizes so
+  // debug mining runs stay roughly O(total work * log inserts).
+  if (FIM_DCHECK_IS_ON() && (stored_ & (stored_ - 1)) == 0) {
+    FIM_DCHECK_OK(ValidateInvariants());
+  }
   return true;
 }
 
@@ -62,6 +77,102 @@ bool ClosedSetRepository::Contains(std::span<const ItemId> items) const {
     node = FindChild(node, items[idx - 1]);
   }
   return node != kNil && nodes_[node].terminal;
+}
+
+namespace {
+
+std::string RepoNodeLabel(uint32_t index, ItemId item) {
+  return "node " + std::to_string(index) + " (item " + std::to_string(item) +
+         ")";
+}
+
+}  // namespace
+
+Status ClosedSetRepository::ValidateInvariants() const {
+  const std::size_t num_items = top_.size();
+  const auto total = static_cast<uint32_t>(nodes_.size());
+  std::vector<uint8_t> visited(nodes_.size(), 0);
+  std::size_t reachable = 0;
+  std::size_t terminals = 0;
+  // Each stack entry is the head of an unvisited child list plus the item
+  // of the node that owns it (kInvalidItem for top-level heads, which have
+  // no parent and no siblings).
+  std::vector<std::pair<uint32_t, ItemId>> stack;
+  for (std::size_t i = 0; i < num_items; ++i) {
+    const uint32_t head = top_[i];
+    if (head == kNil) continue;
+    if (head >= total) {
+      return Status::Internal("repository: top slot " + std::to_string(i) +
+                              " links to unallocated node " +
+                              std::to_string(head));
+    }
+    const Node& node = nodes_[head];
+    if (node.item != static_cast<ItemId>(i)) {
+      return Status::Internal(
+          "repository: top slot " + std::to_string(i) + " heads " +
+          RepoNodeLabel(head, node.item) + " instead of item " +
+          std::to_string(i));
+    }
+    if (node.sibling != kNil) {
+      return Status::Internal("repository: top-level " +
+                              RepoNodeLabel(head, node.item) +
+                              " has a sibling; the flat array is the only "
+                              "top level");
+    }
+    visited[head] = 1;
+    ++reachable;
+    if (node.terminal) ++terminals;
+    if (node.children != kNil) stack.emplace_back(node.children, node.item);
+  }
+  while (!stack.empty()) {
+    auto [head, parent_item] = stack.back();
+    stack.pop_back();
+    ItemId prev_item = kInvalidItem;  // sentinel: no left sibling yet
+    for (uint32_t n = head; n != kNil; n = nodes_[n].sibling) {
+      if (n >= total) {
+        return Status::Internal("repository: link to unallocated node " +
+                                std::to_string(n));
+      }
+      const Node& node = nodes_[n];
+      if (visited[n]) {
+        return Status::Internal("repository: " + RepoNodeLabel(n, node.item) +
+                                " reachable twice (cycle or shared subtree)");
+      }
+      visited[n] = 1;
+      ++reachable;
+      if (node.item >= num_items) {
+        return Status::Internal("repository: " + RepoNodeLabel(n, node.item) +
+                                " has item code >= num_items " +
+                                std::to_string(num_items));
+      }
+      if (prev_item != kInvalidItem && node.item >= prev_item) {
+        return Status::Internal(
+            "repository: sibling list not strictly descending at " +
+            RepoNodeLabel(n, node.item) + " after item " +
+            std::to_string(prev_item));
+      }
+      prev_item = node.item;
+      if (node.item >= parent_item) {
+        return Status::Internal(
+            "repository: child " + RepoNodeLabel(n, node.item) +
+            " does not carry a lower code than its parent (item " +
+            std::to_string(parent_item) + ")");
+      }
+      if (node.terminal) ++terminals;
+      if (node.children != kNil) stack.emplace_back(node.children, node.item);
+    }
+  }
+  if (reachable != nodes_.size()) {
+    return Status::Internal(
+        "repository: " + std::to_string(nodes_.size() - reachable) +
+        " allocated nodes are unreachable");
+  }
+  if (terminals != stored_) {
+    return Status::Internal(
+        "repository: terminal-node count " + std::to_string(terminals) +
+        " != stored-set count " + std::to_string(stored_));
+  }
+  return Status::OK();
 }
 
 }  // namespace fim

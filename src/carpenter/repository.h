@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/status.h"
 #include "data/itemset.h"
 
 namespace fim {
@@ -35,7 +36,23 @@ class ClosedSetRepository {
   /// Number of allocated tree nodes (memory diagnostics).
   std::size_t NodeCount() const { return nodes_.size(); }
 
+  /// Exhaustively checks the structural invariants of the repository and
+  /// returns OK, or an Internal status naming the first violation:
+  ///   - a populated top-level slot i heads a node carrying item i with no
+  ///     sibling (the top level is the flat array itself);
+  ///   - every sibling list is sorted by strictly descending item code;
+  ///   - every child carries a strictly lower item code than its parent;
+  ///   - item codes are < num_items;
+  ///   - every allocated node is reachable exactly once (no cycles, no
+  ///     leaks);
+  ///   - the number of terminal nodes equals size().
+  /// O(nodes). Debug builds run this automatically at mutation points via
+  /// FIM_DCHECK; tests and fim-verify call it on demand.
+  Status ValidateInvariants() const;
+
  private:
+  friend struct ClosedSetRepositoryTestPeer;  // corruption hooks for tests
+
   struct Node {
     ItemId item;
     uint32_t sibling;

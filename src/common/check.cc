@@ -1,0 +1,24 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fim {
+namespace internal {
+
+CheckFailure::CheckFailure(const char* file, int line,
+                           const char* condition) {
+  stream_ << "FIM_CHECK failed: " << condition << " (" << file << ":" << line
+          << ") ";
+}
+
+CheckFailure::~CheckFailure() {
+  const std::string message = stream_.str();
+  std::fwrite(message.data(), 1, message.size(), stderr);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace fim

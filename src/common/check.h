@@ -1,0 +1,91 @@
+#ifndef FIM_COMMON_CHECK_H_
+#define FIM_COMMON_CHECK_H_
+
+#include <sstream>
+
+#include "common/status.h"
+
+namespace fim {
+namespace internal {
+
+/// Accumulates the streamed message of a failing check and terminates the
+/// process from its destructor (message + file:line on stderr, then
+/// std::abort). Only ever constructed on the failure path, so the cost of
+/// the ostringstream is irrelevant.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition);
+  ~CheckFailure();
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Turns the CheckFailure stream expression into void so both arms of the
+/// conditional in FIM_CHECK have the same type. operator& binds looser
+/// than operator<<, so the whole streamed chain is swallowed.
+struct CheckVoidify {
+  // Binds the freshly constructed temporary as well as the reference the
+  // streaming chain returns.
+  void operator&(const CheckFailure&) {}
+};
+
+}  // namespace internal
+}  // namespace fim
+
+/// FIM_CHECK(cond) — active in every build type. When `cond` is false,
+/// prints "FIM_CHECK failed: cond ..." with file:line plus any streamed
+/// message and aborts:
+///
+///   FIM_CHECK(!items.empty()) << "transaction " << t << " is empty";
+///
+/// The condition is evaluated exactly once; the streamed operands are
+/// evaluated only on failure.
+#define FIM_CHECK(condition)                     \
+  (condition) ? (void)0                          \
+              : ::fim::internal::CheckVoidify()& \
+                    ::fim::internal::CheckFailure(__FILE__, __LINE__, \
+                                                  #condition)
+
+/// FIM_CHECK_OK(expr) — aborts unless the fim::Status expression is OK;
+/// the status message becomes part of the failure output.
+#define FIM_CHECK_OK(expr)                                               \
+  do {                                                                   \
+    const ::fim::Status fim_internal_check_status = (expr);              \
+    FIM_CHECK(fim_internal_check_status.ok())                            \
+        << fim_internal_check_status.ToString();                         \
+  } while (0)
+
+/// FIM_DCHECK / FIM_DCHECK_OK — compiled to active checks only when
+/// FIM_ENABLE_DCHECKS is defined (the FIM_ENABLE_DCHECKS CMake option;
+/// AUTO enables it for Debug builds). Otherwise the condition is type-
+/// checked but never evaluated, so dchecks may be arbitrarily expensive.
+#ifdef FIM_ENABLE_DCHECKS
+
+#define FIM_DCHECK(condition) FIM_CHECK(condition)
+#define FIM_DCHECK_OK(expr) FIM_CHECK_OK(expr)
+
+/// True when structural validators wired into the data structures run.
+#define FIM_DCHECK_IS_ON() true
+
+#else  // !FIM_ENABLE_DCHECKS
+
+#define FIM_DCHECK(condition) FIM_CHECK(true || (condition))
+#define FIM_DCHECK_OK(expr)                \
+  do {                                     \
+    if (false) FIM_CHECK_OK(expr);         \
+  } while (0)
+#define FIM_DCHECK_IS_ON() false
+
+#endif  // FIM_ENABLE_DCHECKS
+
+#endif  // FIM_COMMON_CHECK_H_

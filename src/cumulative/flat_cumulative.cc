@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/check.h"
+
 namespace fim {
 
 namespace {
@@ -65,6 +67,13 @@ Status MineClosedFlatCumulative(const TransactionDatabase& db,
 
   const ClosedSetCallback decoded = MakeDecodingCallback(recoding, callback);
   for (const auto& [items, support] : repo) {
+    FIM_DCHECK(!items.empty() &&
+               std::is_sorted(items.begin(), items.end()) &&
+               std::adjacent_find(items.begin(), items.end()) == items.end())
+        << "stored sets must be non-empty, sorted, duplicate-free";
+    FIM_DCHECK(support >= 1 && support <= coded.NumTransactions())
+        << "stored support " << support << " outside [1, "
+        << coded.NumTransactions() << "]";
     if (support >= options.min_support) decoded(items, support);
   }
   return Status::OK();

@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/check.h"
 #include "data/recode.h"
 
 namespace fim {
@@ -64,6 +65,10 @@ class LcmCore {
       if (occ_i.size() < min_support_) continue;
       std::vector<ItemId> q = ComputeClosure(occ_i);
       if (!PrefixPreserved(p, q, i)) continue;
+      FIM_DCHECK(std::binary_search(q.begin(), q.end(), i))
+          << "closure of an extension by item " << i << " must contain it";
+      FIM_DCHECK(IsSubsetSorted(p, q))
+          << "closure must be a superset of the extended set";
       sink(q, static_cast<Support>(occ_i.size()));
       Extend(q, occ_i, i, sink);
     }

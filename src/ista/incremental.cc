@@ -7,7 +7,7 @@
 namespace fim {
 
 struct IncrementalClosedSetMiner::Impl {
-  explicit Impl(std::size_t max_items) : tree(max_items), max_items(max_items) {}
+  explicit Impl(std::size_t num_items) : tree(num_items), max_items(num_items) {}
 
   IstaPrefixTree tree;
   std::size_t max_items;

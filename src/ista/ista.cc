@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.h"
 #include "ista/prefix_tree.h"
 
 namespace fim {
@@ -45,6 +46,7 @@ Status MineClosedIsta(const TransactionDatabase& db, const IstaOptions& options,
   }
 
   if (stats != nullptr) stats->final_nodes = tree.NodeCount();
+  FIM_DCHECK_OK(tree.ValidateInvariants());
   tree.Report(options.min_support, MakeDecodingCallback(recoding, callback));
   return Status::OK();
 }

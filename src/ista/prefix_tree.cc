@@ -1,6 +1,10 @@
 #include "ista/prefix_tree.h"
 
-#include <cassert>
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
 
 namespace fim {
 
@@ -8,8 +12,7 @@ IstaPrefixTree::IstaPrefixTree(std::size_t num_items)
     : in_transaction_(num_items, 0) {
   // Node 0 is the pseudo-root representing the empty set.
   uint32_t root = NewNode(kInvalidItem, 0, 0);
-  (void)root;
-  assert(root == kRoot);
+  FIM_CHECK(root == kRoot);
   node_count_ = 0;  // the root does not count
 }
 
@@ -46,13 +49,24 @@ void IstaPrefixTree::InsertTransactionPath(std::span<const ItemId> items) {
 }
 
 void IstaPrefixTree::AddTransaction(std::span<const ItemId> items) {
-  assert(!items.empty());
+  FIM_CHECK(!items.empty()) << "transactions must be non-empty";
+  FIM_DCHECK(std::is_sorted(items.begin(), items.end()) &&
+             std::adjacent_find(items.begin(), items.end()) == items.end())
+      << "transaction items must be sorted ascending and duplicate-free";
+  FIM_DCHECK(items.back() < in_transaction_.size())
+      << "item " << items.back() << " out of range (num_items "
+      << in_transaction_.size() << ")";
   ++step_;
   for (ItemId i : items) in_transaction_[i] = 1;
   imin_ = items.front();
   InsertTransactionPath(items);
   Isect(At(kRoot).children, &At(kRoot).children);
   for (ItemId i : items) in_transaction_[i] = 0;
+  // Full validation is O(nodes); amortize it over power-of-two steps so
+  // debug test runs stay roughly O(total work * log steps).
+  if (FIM_DCHECK_IS_ON() && (step_ & (step_ - 1)) == 0) {
+    FIM_DCHECK_OK(ValidateInvariants());
+  }
 }
 
 void IstaPrefixTree::Isect(uint32_t node, uint32_t* ins) {
@@ -118,10 +132,109 @@ void IstaPrefixTree::ReportNode(uint32_t node, Support min_support,
 
 void IstaPrefixTree::Prune(Support min_support,
                            std::span<const Support> remaining) {
+  FIM_DCHECK(remaining.size() == in_transaction_.size())
+      << "remaining-occurrence table size " << remaining.size()
+      << " != num_items " << in_transaction_.size();
   IstaPrefixTree fresh(in_transaction_.size());
   fresh.step_ = step_;
   PruneInto(At(kRoot).children, min_support, remaining, &fresh, kRoot);
   *this = std::move(fresh);
+  FIM_DCHECK_OK(ValidateInvariants());
+}
+
+namespace {
+
+std::string NodeLabel(uint32_t index, ItemId item) {
+  return "node " + std::to_string(index) + " (item " + std::to_string(item) +
+         ")";
+}
+
+}  // namespace
+
+Status IstaPrefixTree::ValidateInvariants() const {
+  const std::size_t num_items = in_transaction_.size();
+  if (next_index_ == 0) {
+    return Status::Internal("prefix tree: missing pseudo-root");
+  }
+  if (At(kRoot).item != kInvalidItem) {
+    return Status::Internal("prefix tree: root must carry kInvalidItem");
+  }
+  std::vector<uint8_t> visited(next_index_, 0);
+  visited[kRoot] = 1;
+  // Each stack entry is the head of an unvisited sibling list plus the
+  // node that owns that child list.
+  std::vector<std::pair<uint32_t, uint32_t>> stack;
+  if (At(kRoot).children != kNil) stack.emplace_back(At(kRoot).children, kRoot);
+  std::size_t reachable = 0;
+  while (!stack.empty()) {
+    auto [head, parent] = stack.back();
+    stack.pop_back();
+    const Node& parent_node = At(parent);
+    ItemId prev_item = kInvalidItem;  // sentinel: no left sibling yet
+    for (uint32_t n = head; n != kNil; n = At(n).sibling) {
+      if (n >= next_index_) {
+        return Status::Internal("prefix tree: link to unallocated node " +
+                                std::to_string(n));
+      }
+      const Node& node = At(n);
+      if (visited[n]) {
+        return Status::Internal("prefix tree: " + NodeLabel(n, node.item) +
+                                " reachable twice (cycle or shared subtree)");
+      }
+      visited[n] = 1;
+      ++reachable;
+      if (node.item >= num_items) {
+        return Status::Internal("prefix tree: " + NodeLabel(n, node.item) +
+                                " has item code >= num_items " +
+                                std::to_string(num_items));
+      }
+      if (prev_item != kInvalidItem && node.item >= prev_item) {
+        return Status::Internal(
+            "prefix tree: sibling list not strictly descending at " +
+            NodeLabel(n, node.item) + " after item " +
+            std::to_string(prev_item));
+      }
+      prev_item = node.item;
+      if (parent != kRoot && node.item >= parent_node.item) {
+        return Status::Internal("prefix tree: child " +
+                                NodeLabel(n, node.item) +
+                                " does not carry a lower code than parent " +
+                                NodeLabel(parent, parent_node.item));
+      }
+      if (node.step > step_) {
+        return Status::Internal(
+            "prefix tree: " + NodeLabel(n, node.item) + " step stamp " +
+            std::to_string(node.step) + " exceeds global step " +
+            std::to_string(step_));
+      }
+      if (parent != kRoot && node.supp > parent_node.supp) {
+        return Status::Internal(
+            "prefix tree: support not monotone: child " +
+            NodeLabel(n, node.item) + " support " + std::to_string(node.supp) +
+            " > parent " + NodeLabel(parent, parent_node.item) + " support " +
+            std::to_string(parent_node.supp));
+      }
+      if (node.children != kNil) stack.emplace_back(node.children, n);
+    }
+  }
+  if (reachable != node_count_) {
+    return Status::Internal(
+        "prefix tree: node_count_ " + std::to_string(node_count_) +
+        " != reachable nodes " + std::to_string(reachable));
+  }
+  if (reachable + 1 != next_index_) {
+    return Status::Internal("prefix tree: " +
+                            std::to_string(next_index_ - 1 - reachable) +
+                            " allocated nodes are unreachable");
+  }
+  for (std::size_t i = 0; i < num_items; ++i) {
+    if (in_transaction_[i] != 0) {
+      return Status::Internal(
+          "prefix tree: transaction flag for item " + std::to_string(i) +
+          " not cleared outside AddTransaction");
+    }
+  }
+  return Status::OK();
 }
 
 void IstaPrefixTree::PruneInto(uint32_t node, Support min_support,

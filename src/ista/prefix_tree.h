@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/status.h"
 #include "data/itemset.h"
 
 namespace fim {
@@ -56,7 +57,25 @@ class IstaPrefixTree {
   /// Number of transactions processed so far.
   std::size_t StepCount() const { return step_; }
 
+  /// Exhaustively checks the structural invariants of the repository
+  /// (paper §3.3, Figure 2) and returns OK, or an Internal status naming
+  /// the first violated invariant:
+  ///   - every sibling list is sorted by strictly descending item code;
+  ///   - every child carries a strictly lower item code than its parent;
+  ///   - item codes are valid (< num_items; kInvalidItem only at the root);
+  ///   - no node's step stamp exceeds the global step counter;
+  ///   - support never increases from parent to child (a child path is a
+  ///     superset item set, so it is contained in no more transactions);
+  ///   - every allocated node is reachable exactly once (no cycles, no
+  ///     leaks) and `NodeCount()` matches;
+  ///   - the transaction flag array is fully cleared (quiescent state).
+  /// O(nodes). Debug builds run this automatically at mutation points via
+  /// FIM_DCHECK; tests and fim-verify call it on demand.
+  Status ValidateInvariants() const;
+
  private:
+  friend struct IstaPrefixTreeTestPeer;  // corruption hooks for check_test
+
   struct Node {
     uint32_t step;      // last update step (0 = never)
     ItemId item;        // item of this node (kInvalidItem for the root)

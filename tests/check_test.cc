@@ -1,0 +1,372 @@
+// Tests for the FIM_CHECK/FIM_DCHECK framework and the structural
+// validators of the prefix-tree repository, the Carpenter duplicate
+// repository, and the Carpenter occurrence matrix. The corruption tests
+// damage one invariant at a time through a test-peer hook and confirm the
+// validator reports that specific breakage.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "carpenter/carpenter.h"
+#include "carpenter/repository.h"
+#include "common/check.h"
+#include "data/transaction_database.h"
+#include "ista/prefix_tree.h"
+
+namespace fim {
+
+// Friend of IstaPrefixTree: surgical access to node fields for breaking
+// invariants on purpose.
+struct IstaPrefixTreeTestPeer {
+  using Node = IstaPrefixTree::Node;
+
+  static constexpr uint32_t kNil = IstaPrefixTree::kNil;
+  static constexpr uint32_t kRoot = IstaPrefixTree::kRoot;
+
+  static Node& At(IstaPrefixTree& tree, uint32_t index) {
+    return tree.At(index);
+  }
+  static uint32_t FirstChild(IstaPrefixTree& tree, uint32_t node) {
+    return tree.At(node).children;
+  }
+  static void SetNodeCount(IstaPrefixTree& tree, std::size_t count) {
+    tree.node_count_ = count;
+  }
+  static void SetTransactionFlag(IstaPrefixTree& tree, ItemId item) {
+    tree.in_transaction_[item] = 1;
+  }
+};
+
+// Friend of ClosedSetRepository with the same purpose.
+struct ClosedSetRepositoryTestPeer {
+  using Node = ClosedSetRepository::Node;
+
+  static constexpr uint32_t kNil = ClosedSetRepository::kNil;
+
+  static Node& At(ClosedSetRepository& repo, uint32_t index) {
+    return repo.nodes_[index];
+  }
+  static uint32_t Top(ClosedSetRepository& repo, ItemId item) {
+    return repo.top_[item];
+  }
+  static void SetTop(ClosedSetRepository& repo, ItemId item, uint32_t node) {
+    repo.top_[item] = node;
+  }
+};
+
+namespace {
+
+using PrefixPeer = IstaPrefixTreeTestPeer;
+using RepoPeer = ClosedSetRepositoryTestPeer;
+
+// ---------------------------------------------------------------------------
+// FIM_CHECK / FIM_DCHECK semantics
+
+TEST(CheckDeathTest, FailingCheckAbortsWithConditionAndMessage) {
+  EXPECT_DEATH(FIM_CHECK(1 + 1 == 3) << "math is broken: " << 42,
+               "FIM_CHECK failed: 1 \\+ 1 == 3 .*math is broken: 42");
+}
+
+TEST(CheckDeathTest, FailingCheckOkAbortsWithStatusText) {
+  EXPECT_DEATH(FIM_CHECK_OK(Status::Internal("corrupted repository")),
+               "FIM_CHECK failed: .*Internal: corrupted repository");
+}
+
+TEST(CheckTest, PassingChecksDoNotAbortAndEvaluateOnce) {
+  int evaluations = 0;
+  FIM_CHECK(++evaluations > 0) << "never printed";
+  EXPECT_EQ(evaluations, 1);
+  FIM_CHECK_OK(Status::OK());
+}
+
+TEST(CheckTest, StreamedOperandsAreNotEvaluatedOnSuccess) {
+  int stream_calls = 0;
+  auto expensive = [&stream_calls]() {
+    ++stream_calls;
+    return "expensive";
+  };
+  FIM_CHECK(true) << expensive();
+  EXPECT_EQ(stream_calls, 0);
+}
+
+TEST(CheckDeathTest, DcheckFollowsBuildConfiguration) {
+  if (FIM_DCHECK_IS_ON()) {
+    EXPECT_DEATH(FIM_DCHECK(false) << "debug only", "FIM_CHECK failed");
+  } else {
+    FIM_DCHECK(false) << "compiled out";  // must not abort
+  }
+}
+
+TEST(CheckTest, DisabledDcheckDoesNotEvaluateCondition) {
+  int evaluations = 0;
+  FIM_DCHECK(++evaluations > 0);
+  EXPECT_EQ(evaluations, FIM_DCHECK_IS_ON() ? 1 : 0);
+}
+
+// ---------------------------------------------------------------------------
+// IstaPrefixTree::ValidateInvariants
+
+IstaPrefixTree MakeTree(std::size_t num_items,
+                        const std::vector<std::vector<ItemId>>& transactions) {
+  IstaPrefixTree tree(num_items);
+  for (const auto& t : transactions) tree.AddTransaction(t);
+  EXPECT_TRUE(tree.ValidateInvariants().ok());
+  return tree;
+}
+
+TEST(PrefixTreeValidatorTest, AcceptsHealthyTree) {
+  IstaPrefixTree tree =
+      MakeTree(4, {{0, 1, 2}, {1, 2, 3}, {0, 2}, {2, 3}});
+  EXPECT_TRUE(tree.ValidateInvariants().ok());
+}
+
+TEST(PrefixTreeValidatorTest, DetectsSiblingOrderViolation) {
+  // Root child list is [1, 0]; duplicating item 0 breaks strict descent.
+  IstaPrefixTree tree = MakeTree(3, {{0}, {1}});
+  const uint32_t head = PrefixPeer::FirstChild(tree, PrefixPeer::kRoot);
+  PrefixPeer::At(tree, head).item = 0;
+  const Status status = tree.ValidateInvariants();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("not strictly descending"),
+            std::string::npos)
+      << status.ToString();
+}
+
+TEST(PrefixTreeValidatorTest, DetectsChildCodeBoundViolation) {
+  // Path root -> 1 -> 0; raising the leaf's item above its parent breaks
+  // the child-code bound.
+  IstaPrefixTree tree = MakeTree(3, {{0, 1}});
+  const uint32_t parent = PrefixPeer::FirstChild(tree, PrefixPeer::kRoot);
+  const uint32_t leaf = PrefixPeer::FirstChild(tree, parent);
+  PrefixPeer::At(tree, leaf).item = 2;
+  const Status status = tree.ValidateInvariants();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("lower code than parent"),
+            std::string::npos)
+      << status.ToString();
+}
+
+TEST(PrefixTreeValidatorTest, DetectsStepStampBeyondGlobalStep) {
+  IstaPrefixTree tree = MakeTree(3, {{0, 1}});
+  const uint32_t node = PrefixPeer::FirstChild(tree, PrefixPeer::kRoot);
+  PrefixPeer::At(tree, node).step = 99;
+  const Status status = tree.ValidateInvariants();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("step stamp"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(PrefixTreeValidatorTest, DetectsSupportMonotonicityViolation) {
+  IstaPrefixTree tree = MakeTree(3, {{0, 1}, {0, 1}});
+  const uint32_t parent = PrefixPeer::FirstChild(tree, PrefixPeer::kRoot);
+  const uint32_t leaf = PrefixPeer::FirstChild(tree, parent);
+  PrefixPeer::At(tree, leaf).supp = PrefixPeer::At(tree, parent).supp + 5;
+  const Status status = tree.ValidateInvariants();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("support not monotone"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(PrefixTreeValidatorTest, DetectsNodeCountMismatch) {
+  IstaPrefixTree tree = MakeTree(3, {{0, 1, 2}});
+  PrefixPeer::SetNodeCount(tree, tree.NodeCount() + 7);
+  const Status status = tree.ValidateInvariants();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("node_count_"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(PrefixTreeValidatorTest, DetectsUnreachableNodes) {
+  IstaPrefixTree tree = MakeTree(3, {{0, 1}});
+  PrefixPeer::At(tree, PrefixPeer::kRoot).children = PrefixPeer::kNil;
+  PrefixPeer::SetNodeCount(tree, 0);
+  const Status status = tree.ValidateInvariants();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("unreachable"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(PrefixTreeValidatorTest, DetectsCycle) {
+  // Point the leaf's child list back at its parent: the parent becomes
+  // reachable twice.
+  IstaPrefixTree tree = MakeTree(3, {{0, 1}});
+  const uint32_t parent = PrefixPeer::FirstChild(tree, PrefixPeer::kRoot);
+  const uint32_t leaf = PrefixPeer::FirstChild(tree, parent);
+  PrefixPeer::At(tree, leaf).children = parent;
+  const Status status = tree.ValidateInvariants();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("reachable twice"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(PrefixTreeValidatorTest, DetectsStaleTransactionFlag) {
+  IstaPrefixTree tree = MakeTree(3, {{0, 1}});
+  PrefixPeer::SetTransactionFlag(tree, 2);
+  const Status status = tree.ValidateInvariants();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("not cleared"), std::string::npos)
+      << status.ToString();
+}
+
+#ifdef FIM_ENABLE_DCHECKS
+TEST(PrefixTreeValidatorDeathTest, CorruptionTripsWiredDcheckOnMutation) {
+  // With dchecks on, the validator wired into AddTransaction (power-of-
+  // two steps) must abort the process on a corrupted tree.
+  IstaPrefixTree tree = MakeTree(3, {{0, 1}});
+  const uint32_t node = PrefixPeer::FirstChild(tree, PrefixPeer::kRoot);
+  PrefixPeer::At(tree, node).step = 99;
+  // {2} does not touch the corrupted node, so the intersection pass cannot
+  // heal its stamp; the validation at step 2 (a power of two) must abort.
+  const std::vector<ItemId> t{2};
+  EXPECT_DEATH(tree.AddTransaction(t), "step stamp");
+}
+#endif  // FIM_ENABLE_DCHECKS
+
+// ---------------------------------------------------------------------------
+// ClosedSetRepository::ValidateInvariants
+
+ClosedSetRepository MakeRepo(
+    std::size_t num_items,
+    const std::vector<std::vector<ItemId>>& sets) {
+  ClosedSetRepository repo(num_items);
+  for (const auto& s : sets) repo.InsertIfAbsent(s);
+  EXPECT_TRUE(repo.ValidateInvariants().ok());
+  return repo;
+}
+
+TEST(RepositoryValidatorTest, AcceptsHealthyRepository) {
+  ClosedSetRepository repo =
+      MakeRepo(4, {{0, 1}, {0, 1, 2}, {1, 3}, {2}, {0, 3}});
+  EXPECT_TRUE(repo.ValidateInvariants().ok());
+}
+
+TEST(RepositoryValidatorTest, DetectsTopSlotItemMismatch) {
+  ClosedSetRepository repo = MakeRepo(3, {{1}});
+  RepoPeer::At(repo, RepoPeer::Top(repo, 1)).item = 0;
+  const Status status = repo.ValidateInvariants();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("instead of item"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(RepositoryValidatorTest, DetectsTopLevelSibling) {
+  ClosedSetRepository repo = MakeRepo(3, {{1}, {2}});
+  RepoPeer::At(repo, RepoPeer::Top(repo, 2)).sibling =
+      RepoPeer::Top(repo, 1);
+  const Status status = repo.ValidateInvariants();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("has a sibling"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(RepositoryValidatorTest, DetectsSiblingOrderViolation) {
+  // Children of the item-2 top node are [1, 0]; duplicating item 0 breaks
+  // strict descent.
+  ClosedSetRepository repo = MakeRepo(3, {{1, 2}, {0, 2}});
+  const uint32_t top = RepoPeer::Top(repo, 2);
+  const uint32_t head = RepoPeer::At(repo, top).children;
+  RepoPeer::At(repo, head).item = 0;
+  const Status status = repo.ValidateInvariants();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("not strictly descending"),
+            std::string::npos)
+      << status.ToString();
+}
+
+TEST(RepositoryValidatorTest, DetectsChildCodeBoundViolation) {
+  ClosedSetRepository repo = MakeRepo(3, {{0, 1}});
+  const uint32_t top = RepoPeer::Top(repo, 1);
+  const uint32_t child = RepoPeer::At(repo, top).children;
+  RepoPeer::At(repo, child).item = 1;
+  const Status status = repo.ValidateInvariants();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("lower code than its parent"),
+            std::string::npos)
+      << status.ToString();
+}
+
+TEST(RepositoryValidatorTest, DetectsTerminalCountMismatch) {
+  // {0, 1} stores one set; the top node of item 1 is a non-terminal
+  // interior node, so flipping its flag desynchronizes size().
+  ClosedSetRepository repo = MakeRepo(3, {{0, 1}});
+  RepoPeer::At(repo, RepoPeer::Top(repo, 1)).terminal = 1;
+  const Status status = repo.ValidateInvariants();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("terminal-node count"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(RepositoryValidatorTest, DetectsUnreachableNodes) {
+  ClosedSetRepository repo = MakeRepo(3, {{0, 1}});
+  RepoPeer::SetTop(repo, 1, RepoPeer::kNil);
+  const Status status = repo.ValidateInvariants();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("unreachable"), std::string::npos)
+      << status.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// ValidateCarpenterMatrix
+
+TransactionDatabase MakeDb() {
+  return TransactionDatabase::FromTransactions(
+      {{0, 1, 2}, {0, 2}, {1, 2, 3}});
+}
+
+TEST(CarpenterMatrixValidatorTest, AcceptsFreshMatrix) {
+  const TransactionDatabase db = MakeDb();
+  const std::vector<Support> matrix = BuildCarpenterMatrix(db);
+  EXPECT_TRUE(ValidateCarpenterMatrix(db, matrix).ok());
+}
+
+TEST(CarpenterMatrixValidatorTest, DetectsSizeMismatch) {
+  const TransactionDatabase db = MakeDb();
+  std::vector<Support> matrix = BuildCarpenterMatrix(db);
+  matrix.pop_back();
+  const Status status = ValidateCarpenterMatrix(db, matrix);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("size"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(CarpenterMatrixValidatorTest, DetectsNonZeroEntryForAbsentItem) {
+  const TransactionDatabase db = MakeDb();
+  std::vector<Support> matrix = BuildCarpenterMatrix(db);
+  // Item 3 is not in transaction 0.
+  matrix[0 * db.NumItems() + 3] = 5;
+  const Status status = ValidateCarpenterMatrix(db, matrix);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("not in the transaction"),
+            std::string::npos)
+      << status.ToString();
+}
+
+TEST(CarpenterMatrixValidatorTest, DetectsZeroEntryForPresentItem) {
+  const TransactionDatabase db = MakeDb();
+  std::vector<Support> matrix = BuildCarpenterMatrix(db);
+  // Item 0 is in transaction 0.
+  matrix[0 * db.NumItems() + 0] = 0;
+  const Status status = ValidateCarpenterMatrix(db, matrix);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("zero entry for an item"),
+            std::string::npos)
+      << status.ToString();
+}
+
+TEST(CarpenterMatrixValidatorTest, DetectsBrokenColumnMonotonicity) {
+  const TransactionDatabase db = MakeDb();
+  std::vector<Support> matrix = BuildCarpenterMatrix(db);
+  // Column 2 is [3, 2, 1] (item 2 occurs in every transaction); bumping
+  // the middle entry breaks the strictly-decreasing suffix count.
+  matrix[1 * db.NumItems() + 2] = 7;
+  const Status status = ValidateCarpenterMatrix(db, matrix);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("not a decreasing suffix count"),
+            std::string::npos)
+      << status.ToString();
+}
+
+}  // namespace
+}  // namespace fim

@@ -121,8 +121,8 @@ TEST_P(EdgeCaseTest, MinSupportEqualsTransactionCount) {
 
 INSTANTIATE_TEST_SUITE_P(AllAlgorithms, EdgeCaseTest,
                          ::testing::ValuesIn(AllAlgorithms()),
-                         [](const auto& info) {
-                           std::string name = AlgorithmName(info.param);
+                         [](const auto& param_info) {
+                           std::string name = AlgorithmName(param_info.param);
                            for (char& c : name) {
                              if (c == '-') c = '_';
                            }

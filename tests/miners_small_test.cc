@@ -92,12 +92,12 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, AllAlgorithmsExampleTest,
     ::testing::Combine(::testing::ValuesIn(AllAlgorithms()),
                        ::testing::Values<Support>(1, 2, 3, 4, 5, 6, 7, 8, 9)),
-    [](const ::testing::TestParamInfo<std::tuple<Algorithm, Support>>& info) {
-      std::string name = AlgorithmName(std::get<0>(info.param));
+    [](const ::testing::TestParamInfo<std::tuple<Algorithm, Support>>& param_info) {
+      std::string name = AlgorithmName(std::get<0>(param_info.param));
       for (char& c : name) {
         if (c == '-') c = '_';
       }
-      return name + "_smin" + std::to_string(std::get<1>(info.param));
+      return name + "_smin" + std::to_string(std::get<1>(param_info.param));
     });
 
 }  // namespace

@@ -55,7 +55,7 @@ INSTANTIATE_TEST_SUITE_P(
         ProfileCase{"ncbi60", &MakeNcbi60Like, 0.05, 62},
         ProfileCase{"thrombin", &MakeThrombinLike, 0.01, 30},
         ProfileCase{"webview", &MakeWebviewLike, 0.01, 2}),
-    [](const auto& info) { return std::string(info.param.name); });
+    [](const auto& param_info) { return std::string(param_info.param.name); });
 
 }  // namespace
 }  // namespace fim

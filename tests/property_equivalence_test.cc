@@ -62,8 +62,8 @@ TEST_P(RandomDbTest, AllMinersMatchOracleForAllSupports) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, RandomDbTest, ::testing::ValuesIn(MakeCases()),
-                         [](const auto& info) {
-                           const RandomCase& c = info.param;
+                         [](const auto& param_info) {
+                           const RandomCase& c = param_info.param;
                            char name[96];
                            std::snprintf(name, sizeof(name),
                                          "n%zu_m%zu_d%d_s%llu",

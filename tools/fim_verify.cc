@@ -4,25 +4,101 @@
 // validating external miner implementations (FIMI-contest style).
 //
 //   fim-verify [-s minsupp] data.fimi result.txt
+//   fim-verify --self-check [-s minsupp] data.fimi
 //
-// Exit code 0 = result is exactly the closed frequent item sets;
-// 1 = verification failed (details on stderr); 2 = usage error.
+// --self-check feeds the database through the library's core data
+// structures (IsTa prefix tree, Carpenter occurrence matrix and duplicate
+// repository) and runs their structural-invariant validators — the same
+// checks FIM_DCHECK wires into debug builds, on demand in any build.
+//
+// Exit code 0 = result is exactly the closed frequent item sets (or all
+// self-checks passed); 1 = verification failed (details on stderr);
+// 2 = usage error.
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "api/miner.h"
+#include "carpenter/carpenter.h"
+#include "carpenter/repository.h"
 #include "data/binary_io.h"
 #include "data/fimi_io.h"
+#include "data/recode.h"
 #include "data/result_io.h"
+#include "ista/prefix_tree.h"
 #include "verify/closedness.h"
 #include "verify/compare.h"
 
 namespace {
 
 void Usage() {
-  std::fprintf(stderr, "usage: fim-verify [-s minsupp] data.fimi result\n");
+  std::fprintf(stderr,
+               "usage: fim-verify [-s minsupp] data.fimi result\n"
+               "       fim-verify --self-check [-s minsupp] data.fimi\n");
+}
+
+// Runs the structural-invariant validators of the core data structures
+// over `db`. Returns the process exit code.
+int RunSelfCheck(const fim::TransactionDatabase& db,
+                 fim::Support min_support) {
+  using namespace fim;
+
+  // IsTa prefix tree: feed every transaction (frequency-ascending codes,
+  // as MineClosedIsta does) and validate after the final insertion.
+  const Recoding recoding =
+      ComputeRecoding(db, ItemOrder::kFrequencyAscending, 1);
+  const TransactionDatabase coded =
+      ApplyRecoding(db, recoding, TransactionOrder::kNone);
+  IstaPrefixTree tree(coded.NumItems());
+  for (const auto& transaction : coded.transactions()) {
+    tree.AddTransaction(transaction);
+  }
+  Status status = tree.ValidateInvariants();
+  if (!status.ok()) {
+    std::fprintf(stderr, "SELF-CHECK FAILURE (prefix tree): %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "fim-verify: prefix tree OK (%zu nodes, %zu steps)\n",
+               tree.NodeCount(), tree.StepCount());
+
+  // Carpenter occurrence matrix (Table 1).
+  const std::vector<Support> matrix = BuildCarpenterMatrix(coded);
+  status = ValidateCarpenterMatrix(coded, matrix);
+  if (!status.ok()) {
+    std::fprintf(stderr, "SELF-CHECK FAILURE (carpenter matrix): %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "fim-verify: carpenter matrix OK (%zu x %zu)\n",
+               coded.NumTransactions(), coded.NumItems());
+
+  // Duplicate repository: store every mined closed set, then validate.
+  MinerOptions options;
+  options.min_support = min_support;
+  auto mined = MineClosedCollect(db, options);
+  if (!mined.ok()) {
+    std::fprintf(stderr, "reference mining failed: %s\n",
+                 mined.status().ToString().c_str());
+    return 1;
+  }
+  ClosedSetRepository repo(db.NumItems());
+  for (const auto& set : mined.value()) {
+    if (!set.items.empty()) repo.InsertIfAbsent(set.items);
+  }
+  status = repo.ValidateInvariants();
+  if (!status.ok()) {
+    std::fprintf(stderr, "SELF-CHECK FAILURE (repository): %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "fim-verify: repository OK (%zu sets, %zu nodes)\n",
+               repo.size(), repo.NodeCount());
+  std::fprintf(stderr, "fim-verify: self-check OK\n");
+  return 0;
 }
 
 }  // namespace
@@ -33,10 +109,13 @@ int main(int argc, char** argv) {
   Support min_support = 2;
   std::string data_path;
   std::string result_path;
+  bool self_check = false;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strcmp(arg, "-s") == 0) {
+    if (std::strcmp(arg, "--self-check") == 0) {
+      self_check = true;
+    } else if (std::strcmp(arg, "-s") == 0) {
       if (i + 1 >= argc) {
         Usage();
         return 2;
@@ -57,7 +136,8 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (data_path.empty() || result_path.empty()) {
+  if (data_path.empty() || (result_path.empty() && !self_check) ||
+      (self_check && !result_path.empty())) {
     Usage();
     return 2;
   }
@@ -68,6 +148,7 @@ int main(int argc, char** argv) {
                  db.status().ToString().c_str());
     return 1;
   }
+  if (self_check) return RunSelfCheck(db.value(), min_support);
   auto claimed = ReadClosedSetsFile(result_path);
   if (!claimed.ok()) {
     std::fprintf(stderr, "error reading %s: %s\n", result_path.c_str(),
