@@ -6,6 +6,7 @@
 #include <fstream>
 #include <map>
 #include <set>
+#include <thread>
 
 #include "common/timer.h"
 
@@ -118,6 +119,33 @@ void WriteCsv(const std::string& path, const SweepResult& result) {
   }
 }
 
+void WriteJson(const std::string& path, const std::string& bench, double scale,
+               const std::vector<JsonPoint>& points) {
+  std::ofstream out(path, std::ios::trunc);
+  out << "{\n  \"bench\": \"" << bench << "\",\n  \"scale\": " << scale
+      << ",\n  \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ",\n  \"points\": [";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const JsonPoint& p = points[i];
+    out << (i == 0 ? "" : ",") << "\n    {\"algorithm\": \"" << p.algorithm
+        << "\", \"min_support\": " << p.min_support
+        << ", \"seconds\": " << p.seconds << ", \"num_sets\": " << p.num_sets
+        << ", \"ran\": " << (p.ran ? "true" : "false") << "}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+void WriteJson(const std::string& path, const std::string& bench, double scale,
+               const SweepResult& result) {
+  std::vector<JsonPoint> points;
+  points.reserve(result.points.size());
+  for (const auto& p : result.points) {
+    points.push_back(JsonPoint{AlgorithmName(p.algorithm), p.min_support,
+                               p.seconds, p.num_sets, p.ran});
+  }
+  WriteJson(path, bench, scale, points);
+}
+
 BenchArgs ParseBenchArgs(int argc, char** argv) {
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
@@ -128,6 +156,8 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.limit = std::atof(arg + 8);
     } else if (std::strncmp(arg, "--csv=", 6) == 0) {
       args.csv_path = arg + 6;
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      args.json_path = arg + 7;
     } else if (std::strcmp(arg, "--full") == 0) {
       args.scale = 1.0;
     } else {

@@ -48,15 +48,41 @@ void PrintSweepTable(const std::string& title, const SweepOptions& options,
 /// CSV with columns algorithm,min_support,seconds,num_sets,ran.
 void WriteCsv(const std::string& path, const SweepResult& result);
 
+/// One timing point of a JSON bench report. `algorithm` is a free-form
+/// series label (e.g. "ista" or "ista-4t"), so benches that sweep
+/// something other than the Algorithm enum — thread counts, ablation
+/// variants — can use the same report format.
+struct JsonPoint {
+  std::string algorithm;
+  Support min_support = 0;
+  double seconds = 0.0;
+  std::size_t num_sets = 0;
+  bool ran = false;
+};
+
+/// Writes `{"bench": ..., "scale": ..., "hardware_threads": ...,
+/// "points": [{"algorithm", "min_support", "seconds", "num_sets",
+/// "ran"}, ...]}`. `hardware_threads` records the machine's concurrency
+/// so speedup numbers are interpretable (a 1-core container cannot show
+/// wall-clock speedup no matter how well a parallel run scales).
+void WriteJson(const std::string& path, const std::string& bench, double scale,
+               const std::vector<JsonPoint>& points);
+
+/// Same report for a figure sweep: points are labeled AlgorithmName(...).
+void WriteJson(const std::string& path, const std::string& bench, double scale,
+               const SweepResult& result);
+
 /// Command-line arguments shared by the figure benches:
 ///   --scale=<f>   generator scale factor (default per bench)
 ///   --limit=<s>   per-point time limit in seconds
 ///   --csv=<path>  also write the sweep as CSV
+///   --json=<path> also write the sweep as a JSON report
 ///   --full        shorthand for --scale=1.0
 struct BenchArgs {
   double scale = -1.0;  // < 0: keep the bench's default
   double limit = -1.0;
   std::string csv_path;
+  std::string json_path;
 };
 
 BenchArgs ParseBenchArgs(int argc, char** argv);

@@ -30,5 +30,8 @@ int main(int argc, char** argv) {
   bench::PrintSweepTable("Figure 5 — yeast (synthetic stand-in)", options,
                          result);
   if (!args.csv_path.empty()) bench::WriteCsv(args.csv_path, result);
+  if (!args.json_path.empty()) {
+    bench::WriteJson(args.json_path, "fig5_yeast", scale, result);
+  }
   return 0;
 }

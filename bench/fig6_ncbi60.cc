@@ -33,5 +33,8 @@ int main(int argc, char** argv) {
   bench::PrintSweepTable("Figure 6 — ncbi60 (synthetic stand-in)", options,
                          result);
   if (!args.csv_path.empty()) bench::WriteCsv(args.csv_path, result);
+  if (!args.json_path.empty()) {
+    bench::WriteJson(args.json_path, "fig6_ncbi60", scale, result);
+  }
   return 0;
 }

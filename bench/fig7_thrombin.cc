@@ -31,5 +31,8 @@ int main(int argc, char** argv) {
   bench::PrintSweepTable("Figure 7 — thrombin subset (synthetic stand-in)",
                          options, result);
   if (!args.csv_path.empty()) bench::WriteCsv(args.csv_path, result);
+  if (!args.json_path.empty()) {
+    bench::WriteJson(args.json_path, "fig7_thrombin", scale, result);
+  }
   return 0;
 }

@@ -35,5 +35,8 @@ int main(int argc, char** argv) {
   bench::PrintSweepTable("Figure 8 — webview transposed (synthetic stand-in)",
                          options, result);
   if (!args.csv_path.empty()) bench::WriteCsv(args.csv_path, result);
+  if (!args.json_path.empty()) {
+    bench::WriteJson(args.json_path, "fig8_webview", scale, result);
+  }
   return 0;
 }

@@ -1,0 +1,153 @@
+// Scaling bench of the sharded multi-threaded IsTa driver: wall time of
+// the identical mining call at 1/2/4/8 worker threads over generated
+// market-basket data, from a small junk-heavy config up to a large
+// pattern-dominated one (millions of rows collapsing onto a few thousand
+// weighted transactions — the regime where the parallel preprocessing and
+// shard mining pay off). Every run is cross-checked to report the same
+// closed-set count as the sequential run; the parallel driver is
+// bit-identical by construction, this guards the bench itself.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "data/generators.h"
+#include "data/stats.h"
+#include "ista/ista.h"
+
+namespace {
+
+struct Config {
+  const char* name;
+  fim::MarketBasketConfig basket;
+  fim::Support min_support;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fim;
+  const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+  const double scale = args.scale > 0 ? args.scale : 1.0;
+  const double limit = args.limit > 0 ? args.limit : 120.0;
+
+  std::vector<Config> configs;
+  {
+    // Junk-heavy baskets: weak deduplication, repository dominated by
+    // low-support sets. Hostile to repository merging — kept in the bench
+    // so regressions of the unfavourable case stay visible.
+    Config c;
+    c.name = "basket-junky";
+    c.basket.num_items = 100;
+    c.basket.num_transactions = 3000;
+    c.basket.avg_transaction_size = 6.0;
+    c.basket.num_patterns = 20;
+    c.basket.avg_pattern_size = 4;
+    c.basket.seed = 7;
+    c.min_support = 30;
+    configs.push_back(c);
+  }
+  {
+    // Mid-size pattern-dominated stream (rows are pure pattern subsets).
+    Config c;
+    c.name = "basket-patterns";
+    c.basket.num_items = 200;
+    c.basket.num_transactions = 200000;
+    c.basket.avg_transaction_size = 1.0;
+    c.basket.num_patterns = 20;
+    c.basket.pattern_probability = 1.0;
+    c.basket.pattern_keep_probability = 0.9;
+    c.basket.avg_pattern_size = 6;
+    c.basket.seed = 7;
+    c.min_support = 100;
+    configs.push_back(c);
+  }
+  {
+    // Large pattern-dominated stream: 2M rows deduplicate to a few
+    // thousand weighted transactions, so recoding/sorting and the shard
+    // mining — the phases the parallel driver spreads across workers —
+    // dominate the wall time.
+    Config c;
+    c.name = "basket-large";
+    c.basket.num_items = 200;
+    c.basket.num_transactions = 2000000;
+    c.basket.avg_transaction_size = 1.0;
+    c.basket.num_patterns = 20;
+    c.basket.pattern_probability = 1.0;
+    c.basket.pattern_keep_probability = 0.9;
+    c.basket.avg_pattern_size = 6;
+    c.basket.seed = 7;
+    c.min_support = 500;
+    configs.push_back(c);
+  }
+
+  std::vector<bench::JsonPoint> points;
+  for (Config& config : configs) {
+    config.basket.num_transactions = static_cast<std::size_t>(
+        static_cast<double>(config.basket.num_transactions) * scale);
+    const TransactionDatabase db = GenerateMarketBasket(config.basket);
+    std::printf("\n== %s (scale=%.2f, smin=%u) ==\n", config.name, scale,
+                config.min_support);
+    std::printf("data: %s\n", StatsToString(ComputeStats(db)).c_str());
+
+    double sequential_seconds = 0.0;
+    std::size_t sequential_sets = 0;
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+      IstaOptions options;
+      options.min_support = config.min_support;
+      options.num_threads = threads;
+      IstaStats stats;
+      std::size_t sets = 0;
+      WallTimer timer;
+      const Status status = MineClosedIsta(
+          db, options, [&sets](std::span<const ItemId>, Support) { ++sets; },
+          &stats);
+      const double seconds = timer.Seconds();
+      bench::JsonPoint point;
+      point.algorithm = "ista-" + std::to_string(threads) + "t";
+      point.min_support = config.min_support;
+      point.seconds = seconds;
+      point.num_sets = sets;
+      point.ran = status.ok();
+      points.push_back(point);
+      if (!status.ok()) {
+        std::printf("  t=%u: ERROR %s\n", threads, status.ToString().c_str());
+        continue;
+      }
+      if (threads == 1) {
+        sequential_seconds = seconds;
+        sequential_sets = sets;
+      } else if (sets != sequential_sets) {
+        std::printf("WARNING: thread count %u changed the closed-set count "
+                    "(%zu vs %zu)!\n",
+                    threads, sets, sequential_sets);
+      }
+      std::printf(
+          "  t=%u: %8.3fs  speedup=%.2fx  sets=%zu  wtx=%zu  peak=%zu "
+          " merges=%zu  prunes=%zu\n",
+          threads, seconds, seconds > 0 ? sequential_seconds / seconds : 0.0,
+          sets, stats.weighted_transactions, stats.peak_nodes,
+          stats.merge_calls, stats.prune_calls);
+      if (seconds > limit) {
+        std::printf("  (over --limit=%.0fs, stopping this config)\n", limit);
+        break;
+      }
+    }
+  }
+
+  if (!args.csv_path.empty()) {
+    std::ofstream out(args.csv_path, std::ios::trunc);
+    out << "algorithm,min_support,seconds,num_sets,ran\n";
+    for (const auto& p : points) {
+      out << p.algorithm << ',' << p.min_support << ',' << p.seconds << ','
+          << p.num_sets << ',' << (p.ran ? 1 : 0) << '\n';
+    }
+  }
+  if (!args.json_path.empty()) {
+    bench::WriteJson(args.json_path, "parallel_ista", scale, points);
+  }
+  return 0;
+}

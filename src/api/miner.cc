@@ -62,6 +62,7 @@ Status MineClosed(const TransactionDatabase& db, const MinerOptions& options,
       ista.item_order = options.item_order;
       ista.transaction_order = options.transaction_order;
       ista.item_elimination = options.item_elimination;
+      ista.num_threads = options.num_threads;
       return MineClosedIsta(db, ista, callback);
     }
     case Algorithm::kCarpenterLists:
@@ -91,6 +92,7 @@ Status MineClosed(const TransactionDatabase& db, const MinerOptions& options,
     case Algorithm::kLcm: {
       LcmOptions lcm;
       lcm.min_support = options.min_support;
+      lcm.num_threads = options.num_threads;
       return MineClosedLcm(db, lcm, callback);
     }
     case Algorithm::kCharm: {

@@ -50,6 +50,12 @@ struct MinerOptions {
   /// §3.4 orders for the intersection miners.
   ItemOrder item_order = ItemOrder::kFrequencyAscending;
   TransactionOrder transaction_order = TransactionOrder::kSizeAscending;
+
+  /// Worker threads for the algorithms that support parallel mining
+  /// (IsTa shards the transaction stream and merges repositories; LCM
+  /// fans out first-level subtrees). Other algorithms ignore it. Output
+  /// is identical to the sequential run for every thread count.
+  unsigned num_threads = 1;
 };
 
 /// Mines the closed frequent item sets of `db` with the selected

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <thread>
 
 namespace fim {
 
@@ -59,12 +60,16 @@ bool DescendingLexLess(const std::vector<ItemId>& a,
 
 }  // namespace
 
-TransactionDatabase ApplyRecoding(const TransactionDatabase& db,
-                                  const Recoding& recoding,
-                                  TransactionOrder transaction_order) {
+namespace {
+
+// Maps the transactions of [begin, end) through the recoding, dropping
+// eliminated items and empty results; relative order is preserved.
+std::vector<std::vector<ItemId>> MapChunk(
+    std::span<const std::vector<ItemId>> transactions,
+    const Recoding& recoding) {
   std::vector<std::vector<ItemId>> mapped;
-  mapped.reserve(db.NumTransactions());
-  for (const auto& t : db.transactions()) {
+  mapped.reserve(transactions.size());
+  for (const auto& t : transactions) {
     std::vector<ItemId> coded;
     coded.reserve(t.size());
     for (ItemId i : t) {
@@ -77,23 +82,107 @@ TransactionDatabase ApplyRecoding(const TransactionDatabase& db,
     std::sort(coded.begin(), coded.end());
     mapped.push_back(std::move(coded));
   }
+  return mapped;
+}
+
+// Stable sort of `mapped` under `less` on `num_chunks` threads: each chunk
+// is stable-sorted privately, then adjacent runs are joined with
+// std::inplace_merge (stable, left run first on ties). Stability plus a
+// fixed comparator determine the output uniquely, so the result is
+// identical to a sequential std::stable_sort.
+void ParallelStableSort(
+    std::vector<std::vector<ItemId>>* mapped, std::size_t num_chunks,
+    bool (*less)(const std::vector<ItemId>&, const std::vector<ItemId>&)) {
+  num_chunks = std::min(num_chunks, std::max<std::size_t>(mapped->size(), 1));
+  if (num_chunks <= 1) {
+    std::stable_sort(mapped->begin(), mapped->end(), less);
+    return;
+  }
+  std::vector<std::size_t> bounds(num_chunks + 1);
+  for (std::size_t c = 0; c <= num_chunks; ++c) {
+    bounds[c] = c * mapped->size() / num_chunks;
+  }
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(num_chunks);
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      workers.emplace_back([mapped, &bounds, less, c]() {
+        std::stable_sort(mapped->begin() + bounds[c],
+                         mapped->begin() + bounds[c + 1], less);
+      });
+    }
+    for (auto& worker : workers) worker.join();
+  }
+  for (std::size_t stride = 1; stride < num_chunks; stride *= 2) {
+    std::vector<std::thread> mergers;
+    for (std::size_t c = 0; c + stride < num_chunks; c += 2 * stride) {
+      mergers.emplace_back([mapped, &bounds, less, c, stride, num_chunks]() {
+        std::inplace_merge(
+            mapped->begin() + bounds[c], mapped->begin() + bounds[c + stride],
+            mapped->begin() + bounds[std::min(c + 2 * stride, num_chunks)],
+            less);
+      });
+    }
+    for (auto& merger : mergers) merger.join();
+  }
+}
+
+bool SizeAscendingLess(const std::vector<ItemId>& a,
+                       const std::vector<ItemId>& b) {
+  if (a.size() != b.size()) return a.size() < b.size();
+  return DescendingLexLess(a, b);
+}
+
+bool SizeDescendingLess(const std::vector<ItemId>& a,
+                        const std::vector<ItemId>& b) {
+  if (a.size() != b.size()) return a.size() > b.size();
+  return DescendingLexLess(a, b);
+}
+
+}  // namespace
+
+TransactionDatabase ApplyRecoding(const TransactionDatabase& db,
+                                  const Recoding& recoding,
+                                  TransactionOrder transaction_order,
+                                  unsigned num_threads) {
+  const auto& transactions = db.transactions();
+  const std::size_t num_chunks = std::max<std::size_t>(
+      std::min<std::size_t>(num_threads, transactions.size()), 1);
+
+  std::vector<std::vector<ItemId>> mapped;
+  if (num_chunks <= 1) {
+    mapped = MapChunk(transactions, recoding);
+  } else {
+    // Map disjoint chunks concurrently, then splice them back together in
+    // order; the concatenation sees exactly the sequential mapping.
+    std::vector<std::vector<std::vector<ItemId>>> chunks(num_chunks);
+    std::vector<std::thread> workers;
+    workers.reserve(num_chunks);
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      workers.emplace_back([&, c]() {
+        const std::size_t begin = c * transactions.size() / num_chunks;
+        const std::size_t end = (c + 1) * transactions.size() / num_chunks;
+        chunks[c] = MapChunk(
+            std::span(transactions).subspan(begin, end - begin), recoding);
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    std::size_t total = 0;
+    for (const auto& chunk : chunks) total += chunk.size();
+    mapped.reserve(total);
+    for (auto& chunk : chunks) {
+      for (auto& t : chunk) mapped.push_back(std::move(t));
+    }
+  }
 
   switch (transaction_order) {
     case TransactionOrder::kNone:
       break;
     case TransactionOrder::kSizeAscending:
-      std::stable_sort(mapped.begin(), mapped.end(),
-                       [](const auto& a, const auto& b) {
-                         if (a.size() != b.size()) return a.size() < b.size();
-                         return DescendingLexLess(a, b);
-                       });
+      ParallelStableSort(&mapped, num_chunks, SizeAscendingLess);
       break;
     case TransactionOrder::kSizeDescending:
-      std::stable_sort(mapped.begin(), mapped.end(),
-                       [](const auto& a, const auto& b) {
-                         if (a.size() != b.size()) return a.size() > b.size();
-                         return DescendingLexLess(a, b);
-                       });
+      ParallelStableSort(&mapped, num_chunks, SizeDescendingLess);
       break;
   }
 

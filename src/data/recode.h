@@ -47,9 +47,16 @@ Recoding ComputeRecoding(const TransactionDatabase& db, ItemOrder order,
 /// transactions reordered according to `transaction_order`. Same-size
 /// transactions are ordered lexicographically on their descending item
 /// sequence, as in the paper.
+///
+/// With `num_threads` > 1 the mapping and the reordering run on that many
+/// worker threads (chunked mapping, then a stable parallel merge sort).
+/// A stable sort's output is uniquely determined by the comparator and the
+/// input order, so the result is identical to the sequential one for every
+/// thread count.
 TransactionDatabase ApplyRecoding(const TransactionDatabase& db,
                                   const Recoding& recoding,
-                                  TransactionOrder transaction_order);
+                                  TransactionOrder transaction_order,
+                                  unsigned num_threads = 1);
 
 /// Maps mined item codes back to original item ids (sorted ascending).
 std::vector<ItemId> DecodeItems(std::span<const ItemId> coded,

@@ -1,11 +1,72 @@
 #include "ista/ista.h"
 
 #include <algorithm>
+#include <optional>
+#include <thread>
+#include <vector>
 
 #include "common/check.h"
 #include "ista/prefix_tree.h"
 
 namespace fim {
+
+namespace {
+
+/// One entry of the mining stream: a recoded transaction plus its
+/// multiplicity after duplicate merging.
+struct WeightedTransaction {
+  const std::vector<ItemId>* items;
+  Support weight;
+};
+
+/// Builds the weighted stream. With `merge_duplicates`, runs of identical
+/// adjacent transactions collapse into one weighted transaction; under the
+/// default size-ascending order (which breaks ties lexicographically) all
+/// duplicates are adjacent, so this is a full deduplication there.
+std::vector<WeightedTransaction> BuildWeightedStream(
+    const TransactionDatabase& coded, bool merge_duplicates) {
+  std::vector<WeightedTransaction> stream;
+  stream.reserve(coded.NumTransactions());
+  for (const auto& transaction : coded.transactions()) {
+    if (merge_duplicates && !stream.empty() &&
+        *stream.back().items == transaction) {
+      ++stream.back().weight;
+    } else {
+      stream.push_back(WeightedTransaction{&transaction, 1});
+    }
+  }
+  return stream;
+}
+
+/// Mines the stream slice [start, end) into a private repository.
+/// `remaining` must hold the occurrence counts of every item over the
+/// whole coded database: only the slice's own occurrences are subtracted
+/// as it advances, so entries of other slices stay counted as
+/// "remaining" — exactly what makes the item-elimination pruning sound
+/// against supports that other slices may still contribute.
+///
+IstaPrefixTree MineShard(const std::vector<WeightedTransaction>& stream,
+                         std::size_t start, std::size_t end,
+                         std::size_t num_items, std::vector<Support>* remaining,
+                         const IstaOptions& options, std::size_t* peak_nodes,
+                         std::size_t* prune_calls) {
+  IstaPrefixTree tree(num_items);
+  std::size_t prune_threshold = options.prune_node_threshold;
+  for (std::size_t k = start; k < end; ++k) {
+    const WeightedTransaction& wt = stream[k];
+    tree.AddTransaction(*wt.items, wt.weight);
+    for (ItemId i : *wt.items) (*remaining)[i] -= wt.weight;
+    *peak_nodes = std::max(*peak_nodes, tree.NodeCount());
+    if (options.item_elimination && tree.NodeCount() > prune_threshold) {
+      tree.Prune(options.min_support, *remaining);
+      prune_threshold = std::max(prune_threshold, 2 * tree.NodeCount());
+      ++*prune_calls;
+    }
+  }
+  return tree;
+}
+
+}  // namespace
 
 Status MineClosedIsta(const TransactionDatabase& db, const IstaOptions& options,
                       const ClosedSetCallback& callback, IstaStats* stats) {
@@ -21,31 +82,126 @@ Status MineClosedIsta(const TransactionDatabase& db, const IstaOptions& options,
       options.item_elimination ? options.min_support : 1;
   const Recoding recoding =
       ComputeRecoding(db, options.item_order, min_item_support);
-  const TransactionDatabase coded =
-      ApplyRecoding(db, recoding, options.transaction_order);
+  const TransactionDatabase coded = ApplyRecoding(
+      db, recoding, options.transaction_order, options.num_threads);
   if (coded.NumTransactions() == 0) return Status::OK();
 
-  // Remaining occurrences of each item in the unprocessed transactions,
-  // used by the item-elimination pruning of the repository.
-  std::vector<Support> remaining = coded.ItemFrequencies();
+  const std::vector<WeightedTransaction> stream =
+      BuildWeightedStream(coded, options.merge_duplicate_transactions);
+  if (stats != nullptr) stats->weighted_transactions = stream.size();
 
-  IstaPrefixTree tree(coded.NumItems());
-  std::size_t prune_threshold = options.prune_node_threshold;
+  // Remaining occurrences of each item over the full coded database; each
+  // worker subtracts only what it has processed itself.
+  const std::vector<Support> frequencies = coded.ItemFrequencies();
 
-  for (const auto& transaction : coded.transactions()) {
-    tree.AddTransaction(transaction);
-    for (ItemId i : transaction) --remaining[i];
+  const std::size_t num_workers = std::min<std::size_t>(
+      std::max(1u, options.num_threads), stream.size());
+
+  if (num_workers <= 1) {
+    std::size_t peak_nodes = 0;
+    std::size_t prune_calls = 0;
+    std::vector<Support> remaining = frequencies;
+    IstaPrefixTree tree =
+        MineShard(stream, 0, stream.size(), coded.NumItems(), &remaining,
+                  options, &peak_nodes, &prune_calls);
     if (stats != nullptr) {
-      stats->peak_nodes = std::max(stats->peak_nodes, tree.NodeCount());
+      stats->peak_nodes = peak_nodes;
+      stats->prune_calls = prune_calls;
+      stats->final_nodes = tree.NodeCount();
     }
-    if (options.item_elimination && tree.NodeCount() > prune_threshold) {
-      tree.Prune(options.min_support, remaining);
-      prune_threshold = std::max(prune_threshold, 2 * tree.NodeCount());
-      if (stats != nullptr) ++stats->prune_calls;
-    }
+    FIM_DCHECK_OK(tree.ValidateInvariants());
+    tree.Report(options.min_support, MakeDecodingCallback(recoding, callback));
+    return Status::OK();
   }
 
-  if (stats != nullptr) stats->final_nodes = tree.NodeCount();
+  // Parallel mode: contiguous slices of the size-ascending weighted
+  // stream. Identical transactions are adjacent in that order, so after
+  // duplicate merging no two shards hold copies of the same transaction,
+  // and neighbouring transactions overlap heavily, which keeps the shard
+  // repositories compact. Every worker owns its repository; no shared
+  // mutable state. Each worker prunes against the occurrences outside
+  // its own slice — a sound bound on what the other slices can still
+  // contribute — which keeps the shard repositories small; the max-plus
+  // Merge stays exact on pruned repositories.
+  std::vector<std::optional<IstaPrefixTree>> trees(num_workers);
+  std::vector<std::vector<Support>> remaining(num_workers);
+  std::vector<std::size_t> peak_nodes(num_workers, 0);
+  std::vector<std::size_t> prune_calls(num_workers, 0);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(num_workers);
+    for (std::size_t w = 0; w < num_workers; ++w) {
+      workers.emplace_back([&, w]() {
+        const std::size_t begin = w * stream.size() / num_workers;
+        const std::size_t end = (w + 1) * stream.size() / num_workers;
+        remaining[w] = frequencies;
+        trees[w].emplace(MineShard(stream, begin, end, coded.NumItems(),
+                                   &remaining[w], options, &peak_nodes[w],
+                                   &prune_calls[w]));
+        if (options.item_elimination) {
+          trees[w]->Prune(options.min_support, remaining[w]);
+          ++prune_calls[w];
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+  }
+
+  // Pairwise reduction: the closed sets of a transaction stream are a
+  // deterministic function of the stream's multiset of transactions, and
+  // the max-plus Merge computes exactly the repository product, so the
+  // reduction recovers the repository of the full stream no matter how
+  // the pairs are grouped. Each level merges disjoint pairs
+  // concurrently. A merged repository covers the union of its shards, so
+  // the occurrences still outside it are remaining_a + remaining_b -
+  // total; pruning against that bound after every merge keeps the
+  // repositories shrinking as their coverage grows (by the final merge
+  // it reaches full sequential pruning strength).
+  std::size_t merge_calls = 0;
+  for (std::size_t stride = 1; stride < num_workers; stride *= 2) {
+    std::vector<std::thread> mergers;
+    for (std::size_t i = 0; i + stride < num_workers; i += 2 * stride) {
+      ++merge_calls;
+      mergers.emplace_back([&trees, &remaining, &peak_nodes, &prune_calls,
+                            &frequencies, &options, i, stride]() {
+        // Replaying the smaller repository into the larger one is
+        // cheaper (the replay visits every stored set of the source);
+        // the result is identical either way. The remaining table
+        // travels with its tree: the mid-merge pruning bound is the
+        // occurrences outside the *target's* own pre-merge stream.
+        if (trees[i]->NodeCount() < trees[i + stride]->NodeCount()) {
+          std::swap(trees[i], trees[i + stride]);
+          std::swap(remaining[i], remaining[i + stride]);
+        }
+        if (options.item_elimination) {
+          trees[i]->Merge(*trees[i + stride], options.min_support,
+                          remaining[i], options.prune_node_threshold);
+        } else {
+          trees[i]->Merge(*trees[i + stride]);
+        }
+        trees[i + stride].reset();  // release the absorbed repository
+        peak_nodes[i] = std::max(peak_nodes[i], trees[i]->NodeCount());
+        for (std::size_t item = 0; item < frequencies.size(); ++item) {
+          remaining[i][item] = remaining[i][item] +
+                               remaining[i + stride][item] -
+                               frequencies[item];
+        }
+        if (options.item_elimination) {
+          trees[i]->Prune(options.min_support, remaining[i]);
+          ++prune_calls[i];
+        }
+      });
+    }
+    for (auto& merger : mergers) merger.join();
+  }
+
+  IstaPrefixTree& tree = *trees.front();
+  if (stats != nullptr) {
+    stats->peak_nodes = *std::max_element(peak_nodes.begin(), peak_nodes.end());
+    for (std::size_t calls : prune_calls) stats->prune_calls += calls;
+    stats->merge_calls = merge_calls;
+    stats->final_nodes = tree.NodeCount();
+  }
   FIM_DCHECK_OK(tree.ValidateInvariants());
   tree.Report(options.min_support, MakeDecodingCallback(recoding, callback));
   return Status::OK();

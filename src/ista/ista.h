@@ -31,13 +31,30 @@ struct IstaOptions {
   /// Tree pruning is triggered when the node count exceeds this threshold
   /// (the threshold then doubles). Only relevant with item_elimination.
   std::size_t prune_node_threshold = std::size_t{1} << 16;
+
+  /// Merge identical (recoded) transactions into a single weighted
+  /// transaction before mining. Never changes the output; a substantial
+  /// win when rows repeat, e.g. on discretized gene-expression data.
+  bool merge_duplicate_transactions = true;
+
+  /// Worker threads. > 1 shards the recoded (and deduplicated) stream
+  /// into contiguous size-ascending slices mined into private per-worker
+  /// repositories, each pruned against its shard's remaining-occurrence
+  /// counters, then reduces the repositories pairwise with the max-plus
+  /// IstaPrefixTree::Merge. The repository of a stream is a
+  /// deterministic function of its transaction multiset, so the output —
+  /// including its order — is bit-identical to the sequential run for
+  /// every thread count.
+  unsigned num_threads = 1;
 };
 
 /// Execution statistics (optional output of MineClosedIsta).
 struct IstaStats {
-  std::size_t peak_nodes = 0;
+  std::size_t peak_nodes = 0;   // max over workers and merge stages
   std::size_t final_nodes = 0;
-  std::size_t prune_calls = 0;
+  std::size_t prune_calls = 0;  // summed over workers
+  std::size_t weighted_transactions = 0;  // stream length after dedup
+  std::size_t merge_calls = 0;  // pairwise repository merges performed
 };
 
 /// Mines all closed frequent item sets of `db` with the IsTa algorithm

@@ -1,6 +1,7 @@
 #include "ista/prefix_tree.h"
 
 #include <algorithm>
+#include <limits>
 #include <string>
 #include <utility>
 
@@ -24,7 +25,7 @@ uint32_t IstaPrefixTree::NewNode(ItemId item, uint32_t step, Support supp) {
   }
   uint32_t index = next_index_++;
   chunks_[index >> kChunkShift].push_back(
-      Node{step, item, supp, kNil, kNil});
+      Node{step, item, supp, 0, kNil, kNil});
   ++node_count_;
   return index;
 }
@@ -41,15 +42,18 @@ uint32_t IstaPrefixTree::FindOrCreateChild(uint32_t parent, ItemId item,
   return node;
 }
 
-void IstaPrefixTree::InsertTransactionPath(std::span<const ItemId> items) {
+uint32_t IstaPrefixTree::InsertTransactionPath(std::span<const ItemId> items) {
   uint32_t current = kRoot;
   for (std::size_t idx = items.size(); idx > 0; --idx) {
     current = FindOrCreateChild(current, items[idx - 1], 0);
   }
+  return current;
 }
 
-void IstaPrefixTree::AddTransaction(std::span<const ItemId> items) {
+void IstaPrefixTree::AddTransaction(std::span<const ItemId> items,
+                                    Support weight) {
   FIM_CHECK(!items.empty()) << "transactions must be non-empty";
+  FIM_CHECK(weight >= 1) << "transaction weight must be >= 1";
   FIM_DCHECK(std::is_sorted(items.begin(), items.end()) &&
              std::adjacent_find(items.begin(), items.end()) == items.end())
       << "transaction items must be sorted ascending and duplicate-free";
@@ -57,10 +61,11 @@ void IstaPrefixTree::AddTransaction(std::span<const ItemId> items) {
       << "item " << items.back() << " out of range (num_items "
       << in_transaction_.size() << ")";
   ++step_;
+  total_weight_ += weight;
   for (ItemId i : items) in_transaction_[i] = 1;
   imin_ = items.front();
-  InsertTransactionPath(items);
-  Isect(At(kRoot).children, &At(kRoot).children);
+  At(InsertTransactionPath(items)).trans += weight;
+  Isect(At(kRoot).children, &At(kRoot).children, weight);
   for (ItemId i : items) in_transaction_[i] = 0;
   // Full validation is O(nodes); amortize it over power-of-two steps so
   // debug test runs stay roughly O(total work * log steps).
@@ -69,64 +74,265 @@ void IstaPrefixTree::AddTransaction(std::span<const ItemId> items) {
   }
 }
 
-void IstaPrefixTree::Isect(uint32_t node, uint32_t* ins) {
-  while (node != kNil) {
-    const ItemId i = At(node).item;
-    if (in_transaction_[i]) {
-      // The item is in the intersection: find/create the node that
-      // represents the extended intersection in the insertion list.
-      while (*ins != kNil && At(*ins).item > i) ins = &At(*ins).sibling;
-      uint32_t d = *ins;
-      if (d != kNil && At(d).item == i) {
-        Node& dn = At(d);
-        // If this node was already updated for the current transaction,
-        // discount it before taking the maximum (Figure 2).
-        if (dn.step == step_) --dn.supp;
-        if (dn.supp < At(node).supp) dn.supp = At(node).supp;
-        ++dn.supp;
-        dn.step = step_;
+void IstaPrefixTree::Isect(uint32_t node, uint32_t* ins, Support weight) {
+  // The recursion of Figure 2, on an explicit stack: a frame suspends the
+  // remainder of a sibling list while the current node's child level is
+  // intersected. Insertion links stay valid across allocations because
+  // node storage is chunked.
+  isect_stack_.clear();
+  isect_stack_.push_back(IsectFrame{node, ins});
+  while (!isect_stack_.empty()) {
+    node = isect_stack_.back().node;
+    ins = isect_stack_.back().ins;
+    isect_stack_.pop_back();
+    while (node != kNil) {
+      const ItemId i = At(node).item;
+      if (in_transaction_[i]) {
+        // The item is in the intersection: find/create the node that
+        // represents the extended intersection in the insertion list.
+        while (*ins != kNil && At(*ins).item > i) ins = &At(*ins).sibling;
+        uint32_t d = *ins;
+        if (d != kNil && At(d).item == i) {
+          Node& dn = At(d);
+          // If this node was already updated for the current transaction,
+          // discount it before taking the maximum (Figure 2).
+          if (dn.step == step_) dn.supp -= weight;
+          if (dn.supp < At(node).supp) dn.supp = At(node).supp;
+          dn.supp += weight;
+          dn.step = step_;
+        } else {
+          d = NewNode(i, step_, At(node).supp + weight);
+          At(d).sibling = *ins;
+          *ins = d;
+        }
+        if (i <= imin_) break;  // nothing below the transaction's minimum
+        // Descend into the child level; resume the remaining siblings
+        // (with the insertion cursor as advanced so far) afterwards.
+        isect_stack_.push_back(IsectFrame{At(node).sibling, ins});
+        uint32_t* child_ins = &At(d).children;
+        node = At(node).children;
+        ins = child_ins;
       } else {
-        d = NewNode(i, step_, At(node).supp + 1);
-        At(d).sibling = *ins;
-        *ins = d;
+        if (i <= imin_) break;
+        isect_stack_.push_back(IsectFrame{At(node).sibling, ins});
+        node = At(node).children;
       }
-      if (i <= imin_) return;  // nothing below the transaction's minimum
-      Isect(At(node).children, &At(d).children);
-    } else {
-      if (i <= imin_) return;
-      Isect(At(node).children, ins);
     }
-    node = At(node).sibling;
   }
 }
 
 void IstaPrefixTree::Report(Support min_support,
                             const ClosedSetCallback& callback) const {
-  std::vector<ItemId> path;
+  // Iterative post-order DFS (deep repositories must not overflow the
+  // call stack). A frame holds the next unvisited child and the largest
+  // child support seen so far (the closedness check of Figure 4).
+  struct Frame {
+    uint32_t node;
+    uint32_t child;
+    Support max_child;
+  };
+  std::vector<Frame> stack;
+  std::vector<ItemId> path;       // root path, descending item codes
+  std::vector<ItemId> ascending;  // scratch reused across reported sets
   for (uint32_t c = At(kRoot).children; c != kNil; c = At(c).sibling) {
     if (At(c).supp < min_support) continue;
     path.push_back(At(c).item);
-    ReportNode(c, min_support, &path, callback);
-    path.pop_back();
+    stack.push_back(Frame{c, At(c).children, 0});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.child != kNil) {
+        const uint32_t child = frame.child;
+        const Support cs = At(child).supp;
+        frame.child = At(child).sibling;
+        if (cs > frame.max_child) frame.max_child = cs;
+        if (cs < min_support) continue;
+        path.push_back(At(child).item);
+        stack.push_back(Frame{child, At(child).children, 0});
+        continue;
+      }
+      if (At(frame.node).supp > frame.max_child) {
+        // The path is in descending code order; report ascending.
+        ascending.assign(path.rbegin(), path.rend());
+        callback(ascending, At(frame.node).supp);
+      }
+      path.pop_back();
+      stack.pop_back();
+    }
   }
 }
 
-void IstaPrefixTree::ReportNode(uint32_t node, Support min_support,
-                                std::vector<ItemId>* path,
-                                const ClosedSetCallback& callback) const {
-  Support max_child = 0;
-  for (uint32_t c = At(node).children; c != kNil; c = At(c).sibling) {
-    const Support cs = At(c).supp;
-    if (cs > max_child) max_child = cs;
-    if (cs < min_support) continue;
-    path->push_back(At(c).item);
-    ReportNode(c, min_support, path, callback);
-    path->pop_back();
+void IstaPrefixTree::Merge(const IstaPrefixTree& other) {
+  Merge(other, 0, {}, std::numeric_limits<std::size_t>::max());
+}
+
+void IstaPrefixTree::Merge(const IstaPrefixTree& other, Support min_support,
+                           std::span<const Support> remaining,
+                           std::size_t prune_node_threshold) {
+  FIM_CHECK(&other != this) << "cannot merge a repository into itself";
+  FIM_CHECK(in_transaction_.size() == other.in_transaction_.size())
+      << "cannot merge repositories over different item universes ("
+      << in_transaction_.size() << " vs " << other.in_transaction_.size()
+      << " items)";
+  const bool pruning = !remaining.empty();
+  FIM_CHECK(!pruning || remaining.size() == in_transaction_.size())
+      << "remaining-occurrence table size " << remaining.size()
+      << " != num_items " << in_transaction_.size();
+  // Max-plus product merge. The repository of the concatenated streams
+  // stores the pairwise intersections a∩b of the two stored families,
+  // with supp(x) = supp_A(cl_A(x)) + supp_B(cl_B(x)). Every stored set b
+  // of `other` is replayed against this tree: for each own stored set S
+  // the node S∩b is created or updated to max(old, aside(S) + supp_B(b)),
+  // where aside(S) is the support S receives from this tree's own
+  // pre-merge side alone. Each such update is certified by the stored
+  // pair (S, b) — it never exceeds the true union support — and the pair
+  // (cl_A(y), cl_B(y)) of any union-frequent set y yields its exact
+  // union support. Crucially this consumes the other repository's
+  // *computed supports* rather than its transaction multiplicities, so
+  // both sides may have been pruned (Prune preserves exact supports for
+  // every set that can still be frequent); this is what lets the shard
+  // repositories of the parallel driver prune independently.
+  std::vector<Support> aside(next_index_);
+  for (uint32_t n = 0; n < next_index_; ++n) aside[n] = At(n).supp;
+  uint32_t frozen = next_index_;
+  total_weight_ += other.total_weight_;
+  if (other.step_ > step_) step_ = other.step_;
+  std::size_t threshold = prune_node_threshold;
+  // Pre-order DFS over the other repository, replaying every stored set.
+  struct Frame {
+    uint32_t node;
+    uint32_t child;
+  };
+  std::vector<Frame> stack;
+  std::vector<ItemId> path;       // root path in other, descending codes
+  std::vector<ItemId> ascending;  // scratch: replayed stored set
+  auto replay = [&](uint32_t n) {
+    // Only closed stored sets need replaying: a set masked by an
+    // equal-support child is dominated by a closed superset Z with the
+    // same stored support, and Z's replay produces every intersection the
+    // masked set could contribute, with the same candidate value (any
+    // union-closed y has cl_B(y) closed in B, and in a pruned tree the
+    // equal-support chain above the reduced cl_B(y) node ends at a closed
+    // set that still intersects A's side to exactly y). Skipping masked
+    // sets keeps the replay linear in the closed family — in particular a
+    // single deep chain replays one set, not one per prefix.
+    Support max_child = 0;
+    for (uint32_t c = other.At(n).children; c != kNil;
+         c = other.At(c).sibling) {
+      if (other.At(c).supp > max_child) max_child = other.At(c).supp;
+    }
+    if (other.At(n).supp <= max_child) return;
+    ascending.assign(path.rbegin(), path.rend());
+    ReplayStoredSet(ascending, other.At(n).supp, other.At(n).trans, frozen,
+                    &aside);
+    if (pruning && node_count_ > threshold) {
+      // Prune against the occurrences outside this tree's own pre-merge
+      // stream: that bound counts the other repository's support mass as
+      // still to come, so it is sound however much has been replayed.
+      IstaPrefixTree fresh(in_transaction_.size());
+      fresh.step_ = step_;
+      fresh.total_weight_ = total_weight_;
+      std::vector<Support> fresh_aside(1, 0);  // index 0: pseudo-root
+      PruneInto(At(kRoot).children, min_support, remaining, &fresh, kRoot,
+                &aside, &fresh_aside);
+      *this = std::move(fresh);
+      aside = std::move(fresh_aside);
+      frozen = next_index_;
+      threshold = std::max(threshold, 2 * NodeCount());
+    }
+  };
+  for (uint32_t c = other.At(kRoot).children; c != kNil;
+       c = other.At(c).sibling) {
+    path.push_back(other.At(c).item);
+    replay(c);
+    stack.push_back(Frame{c, other.At(c).children});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.child == kNil) {
+        path.pop_back();
+        stack.pop_back();
+        continue;
+      }
+      const uint32_t child = frame.child;
+      frame.child = other.At(child).sibling;
+      path.push_back(other.At(child).item);
+      replay(child);
+      stack.push_back(Frame{child, other.At(child).children});
+    }
   }
-  if (At(node).supp > max_child) {
-    // The path is in descending code order; report ascending.
-    std::vector<ItemId> ascending(path->rbegin(), path->rend());
-    callback(ascending, At(node).supp);
+  FIM_DCHECK_OK(ValidateInvariants());
+}
+
+void IstaPrefixTree::ReplayStoredSet(std::span<const ItemId> items,
+                                     Support other_supp, Support other_trans,
+                                     uint32_t frozen,
+                                     std::vector<Support>* aside) {
+  for (ItemId i : items) in_transaction_[i] = 1;
+  imin_ = items.front();
+  // Insert the set's path and raise every node on it to at least the
+  // other side's support: each path prefix is a subset of the set, so its
+  // union support is at least supp_B(b). Raising the whole path (rather
+  // than only the final node) keeps the parent-support monotonicity, and
+  // each prefix keeps an on-path child of equal support, so a prefix that
+  // is not itself an intersection can never look closed. The own-side
+  // support of a fresh path node is 0.
+  uint32_t current = kRoot;
+  for (std::size_t idx = items.size(); idx > 0; --idx) {
+    current = FindOrCreateChild(current, items[idx - 1], 0);
+    if (aside->size() < next_index_) aside->resize(next_index_, 0);
+    Node& n = At(current);
+    if (other_supp > n.supp) n.supp = other_supp;
+  }
+  At(current).trans += other_trans;
+  IsectMax(At(kRoot).children, &At(kRoot).children, other_supp, frozen, aside);
+  for (ItemId i : items) in_transaction_[i] = 0;
+}
+
+void IstaPrefixTree::IsectMax(uint32_t node, uint32_t* ins, Support other_supp,
+                              uint32_t frozen, std::vector<Support>* aside) {
+  // The walk of Isect with the additive update replaced by a max with
+  // aside(S) + other_supp. Only nodes frozen by the last (re)freeze act
+  // as stored sets S: newer nodes' intersections are already covered by
+  // their frozen creators. A new node's subtree holds only new nodes, so
+  // whole new subtrees are skipped. No step stamps are needed: max is
+  // idempotent, unlike the additive update of a transaction pass.
+  isect_stack_.clear();
+  isect_stack_.push_back(IsectFrame{node, ins});
+  while (!isect_stack_.empty()) {
+    node = isect_stack_.back().node;
+    ins = isect_stack_.back().ins;
+    isect_stack_.pop_back();
+    while (node != kNil) {
+      if (node >= frozen) {  // created since the last freeze: not a source
+        node = At(node).sibling;
+        continue;
+      }
+      const ItemId i = At(node).item;
+      if (in_transaction_[i]) {
+        const Support source_aside = (*aside)[node];
+        const Support candidate = source_aside + other_supp;
+        while (*ins != kNil && At(*ins).item > i) ins = &At(*ins).sibling;
+        uint32_t d = *ins;
+        if (d != kNil && At(d).item == i) {
+          Node& dn = At(d);
+          if (candidate > dn.supp) dn.supp = candidate;
+          if (source_aside > (*aside)[d]) (*aside)[d] = source_aside;
+        } else {
+          d = NewNode(i, 0, candidate);
+          aside->push_back(source_aside);
+          At(d).sibling = *ins;
+          *ins = d;
+        }
+        if (i <= imin_) break;  // nothing below the set's minimum item
+        isect_stack_.push_back(IsectFrame{At(node).sibling, ins});
+        uint32_t* child_ins = &At(d).children;
+        node = At(node).children;
+        ins = child_ins;
+      } else {
+        if (i <= imin_) break;
+        isect_stack_.push_back(IsectFrame{At(node).sibling, ins});
+        node = At(node).children;
+      }
+    }
   }
 }
 
@@ -137,6 +343,7 @@ void IstaPrefixTree::Prune(Support min_support,
       << " != num_items " << in_transaction_.size();
   IstaPrefixTree fresh(in_transaction_.size());
   fresh.step_ = step_;
+  fresh.total_weight_ = total_weight_;
   PruneInto(At(kRoot).children, min_support, remaining, &fresh, kRoot);
   *this = std::move(fresh);
   FIM_DCHECK_OK(ValidateInvariants());
@@ -166,6 +373,7 @@ Status IstaPrefixTree::ValidateInvariants() const {
   std::vector<std::pair<uint32_t, uint32_t>> stack;
   if (At(kRoot).children != kNil) stack.emplace_back(At(kRoot).children, kRoot);
   std::size_t reachable = 0;
+  uint64_t trans_weight_sum = 0;
   while (!stack.empty()) {
     auto [head, parent] = stack.back();
     stack.pop_back();
@@ -214,6 +422,13 @@ Status IstaPrefixTree::ValidateInvariants() const {
             " > parent " + NodeLabel(parent, parent_node.item) + " support " +
             std::to_string(parent_node.supp));
       }
+      if (node.supp > total_weight_) {
+        return Status::Internal(
+            "prefix tree: " + NodeLabel(n, node.item) + " support " +
+            std::to_string(node.supp) + " exceeds total transaction weight " +
+            std::to_string(total_weight_));
+      }
+      trans_weight_sum += node.trans;
       if (node.children != kNil) stack.emplace_back(node.children, n);
     }
   }
@@ -227,6 +442,12 @@ Status IstaPrefixTree::ValidateInvariants() const {
                             std::to_string(next_index_ - 1 - reachable) +
                             " allocated nodes are unreachable");
   }
+  if (trans_weight_sum > total_weight_) {
+    return Status::Internal(
+        "prefix tree: stored transaction weights sum to " +
+        std::to_string(trans_weight_sum) + " > total added weight " +
+        std::to_string(total_weight_));
+  }
   for (std::size_t i = 0; i < num_items; ++i) {
     if (in_transaction_[i] != 0) {
       return Status::Internal(
@@ -239,21 +460,55 @@ Status IstaPrefixTree::ValidateInvariants() const {
 
 void IstaPrefixTree::PruneInto(uint32_t node, Support min_support,
                                std::span<const Support> remaining,
-                               IstaPrefixTree* target, uint32_t cursor) const {
-  for (; node != kNil; node = At(node).sibling) {
-    const Node& n = At(node);
-    uint32_t next_cursor = cursor;
-    if (n.supp + remaining[n.item] >= min_support) {
-      // The item can still contribute to a frequent set: keep it.
-      next_cursor = target->FindOrCreateChild(cursor, n.item, 0);
-      Node& t = target->At(next_cursor);
-      if (n.supp > t.supp) t.supp = n.supp;
-    } else if (cursor != kRoot) {
-      // Drop the item; the reduced set keeps the best support seen.
-      Node& t = target->At(cursor);
-      if (n.supp > t.supp) t.supp = n.supp;
+                               IstaPrefixTree* target, uint32_t cursor,
+                               const std::vector<Support>* aside_src,
+                               std::vector<Support>* aside_dst) const {
+  // Iterative: a work item is one sibling list plus the target cursor
+  // representing the filtered path so far (deep repositories must not
+  // overflow the call stack).
+  struct Frame {
+    uint32_t node;
+    uint32_t cursor;
+  };
+  if (node == kNil) return;
+  std::vector<Frame> stack;
+  stack.push_back(Frame{node, cursor});
+  const auto merge_aside = [&](uint32_t source, uint32_t dest) {
+    if (aside_dst == nullptr) return;
+    if (aside_dst->size() < target->next_index_) {
+      aside_dst->resize(target->next_index_, 0);
     }
-    PruneInto(n.children, min_support, remaining, target, next_cursor);
+    if ((*aside_src)[source] > (*aside_dst)[dest]) {
+      (*aside_dst)[dest] = (*aside_src)[source];
+    }
+  };
+  while (!stack.empty()) {
+    node = stack.back().node;
+    cursor = stack.back().cursor;
+    stack.pop_back();
+    for (; node != kNil; node = At(node).sibling) {
+      const Node& n = At(node);
+      uint32_t next_cursor = cursor;
+      if (n.supp + remaining[n.item] >= min_support) {
+        // The item can still contribute to a frequent set: keep it.
+        next_cursor = target->FindOrCreateChild(cursor, n.item, 0);
+        Node& t = target->At(next_cursor);
+        if (n.supp > t.supp) t.supp = n.supp;
+        t.trans += n.trans;
+        merge_aside(node, next_cursor);
+      } else if (cursor != kRoot) {
+        // Drop the item; the reduced set keeps the best support seen and
+        // accumulates the reduced transactions' weight.
+        Node& t = target->At(cursor);
+        if (n.supp > t.supp) t.supp = n.supp;
+        t.trans += n.trans;
+        merge_aside(node, cursor);
+      }
+      // Transactions whose items are all dropped reduce to the empty set
+      // and vanish (the repository never stores empty transactions);
+      // their weight can no longer matter for any frequent set.
+      if (n.children != kNil) stack.push_back(Frame{n.children, next_cursor});
+    }
   }
 }
 

@@ -33,10 +33,37 @@ class IstaPrefixTree {
   IstaPrefixTree(IstaPrefixTree&&) = default;
   IstaPrefixTree& operator=(IstaPrefixTree&&) = default;
 
-  /// Processes one transaction: adds it to the repository and creates or
-  /// updates every intersection with a stored set. `items` must be sorted
-  /// ascending and duplicate-free, non-empty, all < num_items.
-  void AddTransaction(std::span<const ItemId> items);
+  /// Processes one transaction of multiplicity `weight` (>= 1): adds it
+  /// to the repository and creates or updates every intersection with a
+  /// stored set, adding `weight` instead of +1 wherever Figure 2 counts
+  /// the transaction (the step-stamp discount is adjusted accordingly).
+  /// Equivalent to `weight` consecutive unit additions, in one pass.
+  /// `items` must be sorted ascending and duplicate-free, non-empty, all
+  /// < num_items.
+  void AddTransaction(std::span<const ItemId> items, Support weight = 1);
+
+  /// Folds another repository into this one by replaying each of its
+  /// stored sets against this tree's own stored sets with a max-plus
+  /// update: the node for S∩b is raised to supp(S) + supp(b) for every
+  /// stored pair, which is exactly the support of S∩b in the
+  /// concatenated stream when S and b are the respective closures. The
+  /// closed frequent sets reported afterwards are identical to a single
+  /// sequential run over both streams — even if either repository has
+  /// been pruned, since Prune keeps the supports of all still-potentially
+  /// frequent sets exact. `other` must share this tree's item universe
+  /// and must not alias `*this`.
+  ///
+  /// The second overload additionally prunes whenever the node count
+  /// exceeds `prune_node_threshold` (which then doubles), against
+  /// `remaining` = the occurrences of each item outside THIS tree's own
+  /// stream before the merge. That bound conservatively counts the other
+  /// repository's not-yet-replayed support mass as still to come, so
+  /// mid-merge pruning never touches an item a frequent set of the
+  /// union still needs.
+  void Merge(const IstaPrefixTree& other);
+  void Merge(const IstaPrefixTree& other, Support min_support,
+             std::span<const Support> remaining,
+             std::size_t prune_node_threshold);
 
   /// Reports every stored set with support >= min_support whose support
   /// exceeds the support of all its direct children (the closedness check
@@ -54,8 +81,13 @@ class IstaPrefixTree {
   /// Number of live nodes (excluding the pseudo-root).
   std::size_t NodeCount() const { return node_count_; }
 
-  /// Number of transactions processed so far.
+  /// Number of transactions processed so far (weighted additions and
+  /// replayed merge transactions each count as one step).
   std::size_t StepCount() const { return step_; }
+
+  /// Total transaction weight processed so far (each AddTransaction adds
+  /// its weight; Merge adds the replayed weight of the other tree).
+  uint64_t TotalWeight() const { return total_weight_; }
 
   /// Exhaustively checks the structural invariants of the repository
   /// (paper §3.3, Figure 2) and returns OK, or an Internal status naming
@@ -66,6 +98,10 @@ class IstaPrefixTree {
   ///   - no node's step stamp exceeds the global step counter;
   ///   - support never increases from parent to child (a child path is a
   ///     superset item set, so it is contained in no more transactions);
+  ///   - no node's support exceeds the total transaction weight processed
+  ///     (weighted additions and merged repositories included);
+  ///   - the accumulated per-node transaction weights sum to at most the
+  ///     total transaction weight (pruning may shed weight, never gain);
   ///   - every allocated node is reachable exactly once (no cycles, no
   ///     leaks) and `NodeCount()` matches;
   ///   - the transaction flag array is fully cleared (quiescent state).
@@ -80,6 +116,9 @@ class IstaPrefixTree {
     uint32_t step;      // last update step (0 = never)
     ItemId item;        // item of this node (kInvalidItem for the root)
     Support supp;       // support of the set on the root path
+    Support trans;      // accumulated weight of transactions equal to the
+                        // set on the root path (0 for pure intersections);
+                        // exactly the replay weights needed by Merge
     uint32_t sibling;   // next node in the sibling list (descending items)
     uint32_t children;  // head of the child list
   };
@@ -101,38 +140,68 @@ class IstaPrefixTree {
   uint32_t NewNode(ItemId item, uint32_t step, Support supp);
 
   /// Inserts the transaction as a path (descending item codes), creating
-  /// missing nodes with support 0. Returns nothing; supports are brought
-  /// up to date by the subsequent Isect pass.
-  void InsertTransactionPath(std::span<const ItemId> items);
+  /// missing nodes with support 0. Returns the node of the full
+  /// transaction path; supports are brought up to date by the subsequent
+  /// Isect pass.
+  uint32_t InsertTransactionPath(std::span<const ItemId> items);
 
-  /// The recursion of Figure 2. `node` heads a sibling list of the
+  /// The recursion of Figure 2, run on an explicit stack so adversarially
+  /// deep repositories (one node per item of a very long transaction)
+  /// cannot overflow the call stack. `node` heads a sibling list of the
   /// current tree level; `ins` points at the link (children/sibling slot)
   /// where intersection results for the current prefix are merged.
-  void Isect(uint32_t node, uint32_t* ins);
+  /// `weight` is the multiplicity of the current transaction.
+  void Isect(uint32_t node, uint32_t* ins, Support weight);
 
-  /// Recursive helper of Report; `path` holds the items from the root in
-  /// descending code order.
-  void ReportNode(uint32_t node, Support min_support,
-                  std::vector<ItemId>* path,
-                  const ClosedSetCallback& callback) const;
+  /// Merge helper: replays one stored set of the other repository
+  /// (`other_supp`/`other_trans` are its support and transaction weight
+  /// there) against this tree's frozen sources: nodes with index
+  /// < `frozen`. `aside` holds, per node, the support contributed by this
+  /// tree's own pre-merge side alone (never the other repository's), so
+  /// candidates aside[S] + other_supp never double-count the other side;
+  /// it is grown in sync with node allocation.
+  void ReplayStoredSet(std::span<const ItemId> items, Support other_supp,
+                       Support other_trans, uint32_t frozen,
+                       std::vector<Support>* aside);
+
+  /// The walk of Isect with the max-plus update of Merge: for every
+  /// frozen stored set S compatible with the current replayed set, the
+  /// node of the intersection is raised to aside[S] + other_supp (and its
+  /// own aside to aside[S]).
+  void IsectMax(uint32_t node, uint32_t* ins, Support other_supp,
+                uint32_t frozen, std::vector<Support>* aside);
 
   /// Prune helper: re-inserts the filtered sets of the subtree headed by
   /// `node` into `target`, with `cursor` the target node representing the
-  /// filtered path so far.
+  /// filtered path so far. Iterative (explicit work stack). When
+  /// `aside_src`/`aside_dst` are given (mid-merge pruning), the per-node
+  /// own-side supports are carried over with the same max-merge rule as
+  /// the supports.
   void PruneInto(uint32_t node, Support min_support,
                  std::span<const Support> remaining, IstaPrefixTree* target,
-                 uint32_t cursor) const;
+                 uint32_t cursor,
+                 const std::vector<Support>* aside_src = nullptr,
+                 std::vector<Support>* aside_dst = nullptr) const;
 
   /// Finds or creates the child of `parent` carrying `item`; keeps the
   /// sibling list sorted by descending item code.
   uint32_t FindOrCreateChild(uint32_t parent, ItemId item, Support supp);
 
+  /// One suspended sibling list of the explicit Isect stack. `ins` points
+  /// into node storage, which is chunk-stable across allocations.
+  struct IsectFrame {
+    uint32_t node;
+    uint32_t* ins;
+  };
+
   std::vector<std::vector<Node>> chunks_;
   uint32_t next_index_ = 0;
   std::size_t node_count_ = 0;
   uint32_t step_ = 0;
+  uint64_t total_weight_ = 0;            // sum of all transaction weights
   std::vector<uint8_t> in_transaction_;  // flag array `trans` of Figure 2
   ItemId imin_ = 0;                      // minimum item of the transaction
+  std::vector<IsectFrame> isect_stack_;  // reused across AddTransaction
 };
 
 }  // namespace fim

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <algorithm>
 #include <sstream>
 
 #include "bench_util.h"
@@ -60,13 +61,52 @@ TEST(BenchUtilTest, CsvOutput) {
   EXPECT_EQ(row.rfind("ista,2,", 0), 0u);
 }
 
+TEST(BenchUtilTest, JsonOutput) {
+  std::vector<JsonPoint> points;
+  points.push_back(JsonPoint{"ista-1t", 5, 1.25, 42, true});
+  points.push_back(JsonPoint{"ista-4t", 5, 0.5, 42, false});
+  const std::string path = ::testing::TempDir() + "/sweep.json";
+  WriteJson(path, "parallel_ista", 0.5, points);
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"bench\": \"parallel_ista\""), std::string::npos);
+  EXPECT_NE(json.find("\"scale\": 0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"hardware_threads\": "), std::string::npos);
+  EXPECT_NE(json.find("{\"algorithm\": \"ista-1t\", \"min_support\": 5, "
+                      "\"seconds\": 1.25, \"num_sets\": 42, \"ran\": true}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ran\": false"), std::string::npos);
+  // Well-formed: one '[' and one ']', balanced braces.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['), 1);
+  EXPECT_EQ(std::count(json.begin(), json.end(), ']'), 1);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(BenchUtilTest, JsonOutputFromSweep) {
+  const TransactionDatabase db = GenerateRandomDense(6, 5, 0.5, 7);
+  SweepOptions options;
+  options.algorithms = {Algorithm::kIsta};
+  options.supports = {2};
+  const SweepResult result = RunSweep(db, options);
+  const std::string path = ::testing::TempDir() + "/sweep2.json";
+  WriteJson(path, "mini", 1.0, result);
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("\"algorithm\": \"ista\""), std::string::npos);
+}
+
 TEST(BenchUtilTest, ParseBenchArgs) {
   const char* argv[] = {"prog", "--scale=0.5", "--limit=12",
-                        "--csv=/tmp/x.csv", "--junk"};
-  BenchArgs args = ParseBenchArgs(5, const_cast<char**>(argv));
+                        "--csv=/tmp/x.csv", "--json=/tmp/x.json", "--junk"};
+  BenchArgs args = ParseBenchArgs(6, const_cast<char**>(argv));
   EXPECT_DOUBLE_EQ(args.scale, 0.5);
   EXPECT_DOUBLE_EQ(args.limit, 12.0);
   EXPECT_EQ(args.csv_path, "/tmp/x.csv");
+  EXPECT_EQ(args.json_path, "/tmp/x.json");
 
   const char* argv2[] = {"prog", "--full"};
   BenchArgs full = ParseBenchArgs(2, const_cast<char**>(argv2));
@@ -76,6 +116,7 @@ TEST(BenchUtilTest, ParseBenchArgs) {
   EXPECT_LT(defaults.scale, 0.0);
   EXPECT_LT(defaults.limit, 0.0);
   EXPECT_TRUE(defaults.csv_path.empty());
+  EXPECT_TRUE(defaults.json_path.empty());
 }
 
 }  // namespace

@@ -1,0 +1,298 @@
+// Tests of multi-threaded IsTa: the sharded miner must produce output
+// (including order) identical to the sequential run on every input and
+// thread count, with and without duplicate merging, item elimination,
+// and mid-merge pruning.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "data/generators.h"
+#include "data/profiles.h"
+#include "ista/ista.h"
+#include "ista/prefix_tree.h"
+#include "verify/compare.h"
+
+namespace fim {
+namespace {
+
+std::vector<ClosedItemset> MineWith(const TransactionDatabase& db,
+                                    const IstaOptions& options,
+                                    IstaStats* stats = nullptr) {
+  ClosedSetCollector collector;
+  EXPECT_TRUE(MineClosedIsta(db, options, collector.AsCallback(), stats).ok());
+  return collector.TakeSets();  // NOT canonicalized: order matters here
+}
+
+std::vector<ClosedItemset> MineWith(const TransactionDatabase& db, Support smin,
+                                    unsigned threads) {
+  IstaOptions options;
+  options.min_support = smin;
+  options.num_threads = threads;
+  return MineWith(db, options);
+}
+
+TEST(ParallelIstaTest, IdenticalOutputAndOrderOnRandomData) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const TransactionDatabase db =
+        GenerateRandomDense(24, 12, 0.4, seed * 757);
+    for (Support smin : {1u, 2u, 4u}) {
+      const auto sequential = MineWith(db, smin, 1);
+      for (unsigned threads : {2u, 3u, 4u, 8u}) {
+        const auto parallel = MineWith(db, smin, threads);
+        ASSERT_EQ(sequential, parallel)
+            << "seed " << seed << " smin " << smin << " threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(ParallelIstaTest, IdenticalOnMarketBasketData) {
+  MarketBasketConfig config;
+  config.num_items = 60;
+  config.num_transactions = 2000;
+  config.avg_transaction_size = 6.0;
+  config.num_patterns = 12;
+  config.seed = 11;
+  const TransactionDatabase db = GenerateMarketBasket(config);
+  for (Support smin : {5u, 40u}) {
+    const auto sequential = MineWith(db, smin, 1);
+    IstaOptions options;
+    options.min_support = smin;
+    for (unsigned threads : {2u, 4u}) {
+      options.num_threads = threads;
+      IstaStats stats;
+      const auto parallel = MineWith(db, options, &stats);
+      ASSERT_EQ(sequential, parallel) << "smin " << smin << " threads "
+                                      << threads;
+      EXPECT_EQ(stats.merge_calls, threads - 1);
+    }
+  }
+}
+
+TEST(ParallelIstaTest, IdenticalOnStructuredProfiles) {
+  {
+    const TransactionDatabase db = MakeYeastLike(0.05, 42);
+    const auto sequential = MineWith(db, 12, 1);
+    EXPECT_FALSE(sequential.empty());
+    EXPECT_EQ(sequential, MineWith(db, 12, 4));
+  }
+  {
+    const TransactionDatabase db = MakeWebviewLike(0.1, 45);
+    const auto sequential = MineWith(db, 8, 1);
+    EXPECT_FALSE(sequential.empty());
+    EXPECT_EQ(sequential, MineWith(db, 8, 4));
+  }
+}
+
+TEST(ParallelIstaTest, IdenticalWithoutItemElimination) {
+  const TransactionDatabase db = GenerateRandomDense(30, 10, 0.5, 99);
+  IstaOptions options;
+  options.min_support = 3;
+  options.item_elimination = false;
+  const auto sequential = MineWith(db, options);
+  options.num_threads = 4;
+  EXPECT_EQ(sequential, MineWith(db, options));
+}
+
+TEST(ParallelIstaTest, IdenticalWithoutDuplicateMerging) {
+  // Duplicate-heavy input: without dedup every copy is added separately
+  // and shard boundaries can split runs of identical transactions.
+  std::vector<std::vector<ItemId>> rows;
+  for (int copy = 0; copy < 7; ++copy) rows.push_back({0, 1, 2});
+  for (int copy = 0; copy < 5; ++copy) rows.push_back({1, 2, 3});
+  rows.push_back({0, 3});
+  const TransactionDatabase db = TransactionDatabase::FromTransactions(rows);
+  for (bool merge_duplicates : {true, false}) {
+    IstaOptions options;
+    options.min_support = 2;
+    options.merge_duplicate_transactions = merge_duplicates;
+    const auto sequential = MineWith(db, options);
+    for (unsigned threads : {2u, 4u, 8u}) {
+      options.num_threads = threads;
+      ASSERT_EQ(sequential, MineWith(db, options))
+          << "dedup " << merge_duplicates << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelIstaTest, MidMergePruningKeepsOutputExact) {
+  // A tiny prune threshold forces threshold prunes inside every shard
+  // and inside every Merge; the output must not change.
+  MarketBasketConfig config;
+  config.num_items = 40;
+  config.num_transactions = 1500;
+  config.avg_transaction_size = 5.0;
+  config.num_patterns = 8;
+  config.seed = 23;
+  const TransactionDatabase db = GenerateMarketBasket(config);
+  IstaOptions options;
+  options.min_support = 30;
+  const auto sequential = MineWith(db, options);
+  options.prune_node_threshold = 16;
+  for (unsigned threads : {1u, 4u}) {
+    options.num_threads = threads;
+    IstaStats stats;
+    ASSERT_EQ(sequential, MineWith(db, options, &stats)) << "threads "
+                                                         << threads;
+    EXPECT_GT(stats.prune_calls, 0u);
+  }
+}
+
+TEST(ParallelIstaTest, MoreThreadsThanTransactions) {
+  const TransactionDatabase db =
+      TransactionDatabase::FromTransactions({{0, 1}, {0, 1}, {2}});
+  EXPECT_EQ(MineWith(db, 1, 1), MineWith(db, 1, 16));
+}
+
+TEST(ParallelIstaTest, EdgeCases) {
+  EXPECT_TRUE(MineWith(TransactionDatabase(), 1, 4).empty());
+  const TransactionDatabase single =
+      TransactionDatabase::FromTransactions({{3, 5, 7}});
+  const auto result = MineWith(single, 1, 8);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].items, (std::vector<ItemId>{3, 5, 7}));
+  EXPECT_EQ(result[0].support, 1u);
+}
+
+// --- IstaPrefixTree::Merge and weighted additions -----------------------
+
+std::map<std::vector<ItemId>, Support> Collect(const IstaPrefixTree& tree,
+                                               Support min_support) {
+  std::map<std::vector<ItemId>, Support> out;
+  tree.Report(min_support,
+              [&out](std::span<const ItemId> items, Support support) {
+                out.emplace(std::vector<ItemId>(items.begin(), items.end()),
+                            support);
+              });
+  return out;
+}
+
+TEST(IstaMergeTest, WeightedAdditionEqualsRepeatedAddition) {
+  IstaPrefixTree repeated(5);
+  IstaPrefixTree weighted(5);
+  const std::vector<std::vector<ItemId>> rows = {{0, 1, 2}, {1, 2, 4}, {2, 3}};
+  const std::vector<Support> weights = {3, 1, 5};
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (Support w = 0; w < weights[r]; ++w) repeated.AddTransaction(rows[r]);
+    weighted.AddTransaction(rows[r], weights[r]);
+  }
+  EXPECT_TRUE(repeated.ValidateInvariants().ok());
+  EXPECT_TRUE(weighted.ValidateInvariants().ok());
+  EXPECT_EQ(weighted.TotalWeight(), 9u);
+  EXPECT_EQ(Collect(repeated, 1), Collect(weighted, 1));
+}
+
+TEST(IstaMergeTest, MergeOfDisjointRepositories) {
+  IstaPrefixTree a(6);
+  a.AddTransaction(std::vector<ItemId>{0, 1});
+  a.AddTransaction(std::vector<ItemId>{0, 1, 2});
+  IstaPrefixTree b(6);
+  b.AddTransaction(std::vector<ItemId>{3, 4});
+  b.AddTransaction(std::vector<ItemId>{4, 5});
+  IstaPrefixTree reference(6);
+  for (const auto& row : {std::vector<ItemId>{0, 1}, {0, 1, 2}, {3, 4}, {4, 5}})
+    reference.AddTransaction(row);
+  a.Merge(b);
+  EXPECT_TRUE(a.ValidateInvariants().ok());
+  EXPECT_EQ(a.TotalWeight(), reference.TotalWeight());
+  EXPECT_EQ(Collect(a, 1), Collect(reference, 1));
+}
+
+TEST(IstaMergeTest, MergeOfOverlappingRepositoriesRecoversCrossSupports) {
+  // {0,1} is contained in transactions of both sides: its merged support
+  // must count both, even though neither repository alone stores it.
+  IstaPrefixTree a(5);
+  a.AddTransaction(std::vector<ItemId>{0, 1, 2});
+  a.AddTransaction(std::vector<ItemId>{0, 1, 3});
+  IstaPrefixTree b(5);
+  b.AddTransaction(std::vector<ItemId>{0, 1, 4});
+  b.AddTransaction(std::vector<ItemId>{1, 2});
+  IstaPrefixTree reference(5);
+  for (const auto& row :
+       {std::vector<ItemId>{0, 1, 2}, {0, 1, 3}, {0, 1, 4}, {1, 2}})
+    reference.AddTransaction(row);
+  a.Merge(b);
+  EXPECT_TRUE(a.ValidateInvariants().ok());
+  const auto merged = Collect(a, 1);
+  EXPECT_EQ(merged, Collect(reference, 1));
+  EXPECT_EQ(merged.at({0, 1}), 3u);
+  EXPECT_EQ(merged.at({1}), 4u);
+}
+
+TEST(IstaMergeTest, MergeIsExactOnRandomRepositorySplits) {
+  // Split a random stream at every position, mine the halves separately,
+  // merge, and compare against the sequential repository.
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    const TransactionDatabase db = GenerateRandomDense(12, 8, 0.5, seed * 131);
+    IstaPrefixTree reference(8);
+    for (const auto& row : db.transactions())
+      if (!row.empty()) reference.AddTransaction(row);
+    const auto expected = Collect(reference, 1);
+    for (std::size_t split = 0; split <= db.NumTransactions(); split += 3) {
+      IstaPrefixTree left(8);
+      IstaPrefixTree right(8);
+      for (std::size_t r = 0; r < db.NumTransactions(); ++r) {
+        const auto& row = db.transactions()[r];
+        if (row.empty()) continue;
+        (r < split ? left : right).AddTransaction(row);
+      }
+      left.Merge(right);
+      ASSERT_TRUE(left.ValidateInvariants().ok());
+      ASSERT_EQ(Collect(left, 1), expected) << "seed " << seed << " split "
+                                            << split;
+    }
+  }
+}
+
+TEST(IstaMergeTest, MergeExactOnPrunedRepositories) {
+  // Prune both halves against their true remaining occurrences before
+  // merging: every frequent closed set of the union must survive with
+  // its exact support (the max-plus merge is exact on pruned trees).
+  const Support smin = 3;
+  const TransactionDatabase db = GenerateRandomDense(30, 9, 0.45, 4242);
+  std::vector<Support> total(9, 0);
+  for (const auto& row : db.transactions())
+    for (ItemId i : row) ++total[i];
+
+  IstaPrefixTree reference(9);
+  for (const auto& row : db.transactions())
+    if (!row.empty()) reference.AddTransaction(row);
+  std::map<std::vector<ItemId>, Support> expected;
+  for (const auto& [items, supp] : Collect(reference, smin))
+    expected.emplace(items, supp);
+
+  const std::size_t split = db.NumTransactions() / 2;
+  IstaPrefixTree left(9);
+  IstaPrefixTree right(9);
+  std::vector<Support> left_remaining = total;
+  std::vector<Support> right_remaining = total;
+  for (std::size_t r = 0; r < db.NumTransactions(); ++r) {
+    const auto& row = db.transactions()[r];
+    if (row.empty()) continue;
+    auto& half = r < split ? left : right;
+    auto& remaining = r < split ? left_remaining : right_remaining;
+    half.AddTransaction(row);
+    for (ItemId i : row) --remaining[i];
+  }
+  left.Prune(smin, left_remaining);
+  right.Prune(smin, right_remaining);
+  left.Merge(right);
+  EXPECT_TRUE(left.ValidateInvariants().ok());
+  EXPECT_EQ(Collect(left, smin), expected);
+
+  // The pruning overload must agree as well, even with a threshold that
+  // forces a prune after nearly every replayed set.
+  IstaPrefixTree left2(9);
+  for (std::size_t r = 0; r < split; ++r) {
+    const auto& row = db.transactions()[r];
+    if (!row.empty()) left2.AddTransaction(row);
+  }
+  left2.Prune(smin, left_remaining);
+  left2.Merge(right, smin, left_remaining, 4);
+  EXPECT_TRUE(left2.ValidateInvariants().ok());
+  EXPECT_EQ(Collect(left2, smin), expected);
+}
+
+}  // namespace
+}  // namespace fim

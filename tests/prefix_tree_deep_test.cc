@@ -127,6 +127,41 @@ TEST(IstaDeepTest, InterleavedPrunesKeepSupportsExact) {
   EXPECT_EQ(sets.at({0, 1, 2}), 3u);
 }
 
+TEST(IstaDeepTest, AdversariallyDeepChainsDoNotOverflowTheStack) {
+  // One very long transaction creates a repository path with one node per
+  // item. Insert, intersect, report, prune, and merge all walk that chain
+  // end to end; with the recursive formulation each of them would need
+  // ~depth stack frames and crash long before this size.
+  const std::size_t depth = 60000;
+  std::vector<ItemId> items(depth);
+  for (std::size_t i = 0; i < depth; ++i) items[i] = static_cast<ItemId>(i);
+  const std::vector<ItemId> shorter(items.begin(), items.end() - 1);
+
+  IstaPrefixTree tree(depth);
+  tree.AddTransaction(items);    // deep path insert
+  tree.AddTransaction(items);    // Isect walks the full chain
+  tree.AddTransaction(shorter);  // deep intersection result
+  ASSERT_TRUE(tree.ValidateInvariants().ok());
+
+  auto sets = Collect(tree, 1);  // Report walks the chain
+  ASSERT_EQ(sets.size(), 2u);
+  EXPECT_EQ(sets.at(items), 2u);
+  EXPECT_EQ(sets.at(shorter), 3u);
+
+  std::vector<Support> remaining(depth, 0);
+  tree.Prune(2, remaining);  // PruneInto walks the chain
+  ASSERT_TRUE(tree.ValidateInvariants().ok());
+  EXPECT_EQ(Collect(tree, 2), sets);
+
+  IstaPrefixTree other(depth);
+  other.AddTransaction(items);
+  tree.Merge(other);  // ReplayStoredSet + IsectMax walk the chain
+  ASSERT_TRUE(tree.ValidateInvariants().ok());
+  sets = Collect(tree, 1);
+  EXPECT_EQ(sets.at(items), 3u);
+  EXPECT_EQ(sets.at(shorter), 4u);
+}
+
 TEST(IstaDeepTest, StepCountSurvivesPrune) {
   IstaPrefixTree tree(3);
   tree.AddTransaction(std::vector<ItemId>{0, 1});

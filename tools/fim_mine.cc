@@ -2,12 +2,15 @@
 // FIMB files, in the spirit of the original ista/carpenter command-line
 // programs.
 //
-//   fim-mine [-a algorithm] [-s minsupp | -S percent] [-m] [-q] input [output]
+//   fim-mine [-a algorithm] [-s minsupp | -S percent] [-t threads] [-m] [-q]
+//            input [output]
 //
 //   -a NAME   ista | carpenter-lists | carpenter-table | flat-cumulative |
 //             fpclose | lcm | charm | transposed | cobbler (default: ista)
 //   -s N      absolute minimum support            (default: 2)
 //   -S P      relative minimum support in percent (overrides -s)
+//   -t N      worker threads for ista / lcm; output is identical to the
+//             sequential run                      (default: 1)
 //   -m        report only maximal frequent item sets
 //   -q        quiet: no stats on stderr
 //   input     transaction file, FIMI text or FIMB binary (auto-detected)
@@ -35,7 +38,7 @@ namespace {
 void Usage() {
   std::fprintf(stderr,
                "usage: fim-mine [-a algorithm] [-s minsupp | -S percent] "
-               "[-m] [-q] input [output]\n");
+               "[-t threads] [-m] [-q] input [output]\n");
 }
 
 }  // namespace
@@ -46,6 +49,7 @@ int main(int argc, char** argv) {
   Algorithm algorithm = Algorithm::kIsta;
   Support min_support = 2;
   double percent = -1.0;
+  unsigned num_threads = 1;
   bool maximal_only = false;
   bool quiet = false;
   std::string input;
@@ -72,6 +76,13 @@ int main(int argc, char** argv) {
       min_support = static_cast<Support>(std::atoll(next_value()));
     } else if (std::strcmp(arg, "-S") == 0) {
       percent = std::atof(next_value());
+    } else if (std::strcmp(arg, "-t") == 0) {
+      const long long parsed = std::atoll(next_value());
+      if (parsed < 1) {
+        std::fprintf(stderr, "error: -t needs a thread count >= 1\n");
+        return 2;
+      }
+      num_threads = static_cast<unsigned>(parsed);
     } else if (std::strcmp(arg, "-m") == 0) {
       maximal_only = true;
     } else if (std::strcmp(arg, "-q") == 0) {
@@ -118,6 +129,7 @@ int main(int argc, char** argv) {
   MinerOptions options;
   options.algorithm = algorithm;
   options.min_support = min_support;
+  options.num_threads = num_threads;
 
   std::ofstream file_out;
   std::ostream* out = &std::cout;
