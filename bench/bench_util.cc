@@ -35,10 +35,13 @@ SweepResult RunSweep(const TransactionDatabase& db,
         miner.min_support = smin;
         std::size_t count = 0;
         WallTimer timer;
+        CpuTimer cpu_timer;
         Status status = MineClosed(
             db, miner,
-            [&count](std::span<const ItemId>, Support) { ++count; });
+            [&count](std::span<const ItemId>, Support) { ++count; },
+            &point.stats);
         point.seconds = timer.Seconds();
+        point.cpu_seconds = cpu_timer.Seconds();
         if (status.ok()) {
           point.ran = true;
           point.num_sets = count;
@@ -124,13 +127,27 @@ void WriteJson(const std::string& path, const std::string& bench, double scale,
   std::ofstream out(path, std::ios::trunc);
   out << "{\n  \"bench\": \"" << bench << "\",\n  \"scale\": " << scale
       << ",\n  \"hardware_threads\": " << std::thread::hardware_concurrency()
-      << ",\n  \"points\": [";
+      << ",\n  \"peak_rss_bytes\": " << PeakRss() << ",\n  \"points\": [";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const JsonPoint& p = points[i];
     out << (i == 0 ? "" : ",") << "\n    {\"algorithm\": \"" << p.algorithm
         << "\", \"min_support\": " << p.min_support
         << ", \"seconds\": " << p.seconds << ", \"num_sets\": " << p.num_sets
-        << ", \"ran\": " << (p.ran ? "true" : "false") << "}";
+        << ", \"ran\": " << (p.ran ? "true" : "false");
+    // The observability payload is appended only when present, so legacy
+    // points keep the historical format byte for byte.
+    if (p.cpu_seconds > 0.0) out << ", \"cpu_seconds\": " << p.cpu_seconds;
+    if (p.has_stats) {
+      out << ", \"counters\": {";
+      bool first = true;
+      for (const auto& [name, value] : p.stats.Counters()) {
+        if (value == 0) continue;  // bench reports carry what happened
+        out << (first ? "" : ", ") << '"' << name << "\": " << value;
+        first = false;
+      }
+      out << "}";
+    }
+    out << "}";
   }
   out << "\n  ]\n}\n";
 }
@@ -140,8 +157,16 @@ void WriteJson(const std::string& path, const std::string& bench, double scale,
   std::vector<JsonPoint> points;
   points.reserve(result.points.size());
   for (const auto& p : result.points) {
-    points.push_back(JsonPoint{AlgorithmName(p.algorithm), p.min_support,
-                               p.seconds, p.num_sets, p.ran});
+    JsonPoint point;
+    point.algorithm = AlgorithmName(p.algorithm);
+    point.min_support = p.min_support;
+    point.seconds = p.seconds;
+    point.num_sets = p.num_sets;
+    point.ran = p.ran;
+    point.cpu_seconds = p.cpu_seconds;
+    point.stats = p.stats;
+    point.has_stats = p.ran;
+    points.push_back(std::move(point));
   }
   WriteJson(path, bench, scale, points);
 }

@@ -25,6 +25,8 @@ struct SweepPoint {
   double seconds = 0.0;
   std::size_t num_sets = 0;
   bool ran = false;  // false: skipped after the algorithm hit the limit
+  double cpu_seconds = 0.0;  // driving thread's CPU time of the run
+  MinerStats stats;          // per-miner counters of the run (ran only)
 };
 
 struct SweepResult {
@@ -58,13 +60,21 @@ struct JsonPoint {
   double seconds = 0.0;
   std::size_t num_sets = 0;
   bool ran = false;
+  /// Optional observability payload: emitted only when set, so reports
+  /// without it keep the historical point format byte for byte.
+  double cpu_seconds = 0.0;  // emitted when > 0
+  MinerStats stats;          // emitted when has_stats
+  bool has_stats = false;
 };
 
 /// Writes `{"bench": ..., "scale": ..., "hardware_threads": ...,
-/// "points": [{"algorithm", "min_support", "seconds", "num_sets",
-/// "ran"}, ...]}`. `hardware_threads` records the machine's concurrency
-/// so speedup numbers are interpretable (a 1-core container cannot show
-/// wall-clock speedup no matter how well a parallel run scales).
+/// "peak_rss_bytes": ..., "points": [{"algorithm", "min_support",
+/// "seconds", "num_sets", "ran"}, ...]}`. Points carry "cpu_seconds"
+/// when measured and a "counters" object (the non-zero MinerStats
+/// entries) when mined with stats. `hardware_threads` records the
+/// machine's concurrency so speedup numbers are interpretable (a 1-core
+/// container cannot show wall-clock speedup no matter how well a
+/// parallel run scales).
 void WriteJson(const std::string& path, const std::string& bench, double scale,
                const std::vector<JsonPoint>& points);
 

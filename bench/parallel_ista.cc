@@ -102,6 +102,7 @@ int main(int argc, char** argv) {
       IstaStats stats;
       std::size_t sets = 0;
       WallTimer timer;
+      CpuTimer cpu_timer;
       const Status status = MineClosedIsta(
           db, options, [&sets](std::span<const ItemId>, Support) { ++sets; },
           &stats);
@@ -112,6 +113,9 @@ int main(int argc, char** argv) {
       point.seconds = seconds;
       point.num_sets = sets;
       point.ran = status.ok();
+      point.cpu_seconds = cpu_timer.Seconds();
+      point.stats = stats;
+      point.has_stats = status.ok();
       points.push_back(point);
       if (!status.ok()) {
         std::printf("  t=%u: ERROR %s\n", threads, status.ToString().c_str());

@@ -54,7 +54,11 @@ const std::vector<Algorithm>& AllAlgorithms() {
 }
 
 Status MineClosed(const TransactionDatabase& db, const MinerOptions& options,
-                  const ClosedSetCallback& callback) {
+                  const ClosedSetCallback& callback, MinerStats* stats,
+                  obs::Trace* trace) {
+  // Every algorithm mines inside one "mine" span; IsTa nests its internal
+  // phases below it.
+  obs::Span mine_span(trace, "mine");
   switch (options.algorithm) {
     case Algorithm::kIsta: {
       IstaOptions ista;
@@ -63,7 +67,7 @@ Status MineClosed(const TransactionDatabase& db, const MinerOptions& options,
       ista.transaction_order = options.transaction_order;
       ista.item_elimination = options.item_elimination;
       ista.num_threads = options.num_threads;
-      return MineClosedIsta(db, ista, callback);
+      return MineClosedIsta(db, ista, callback, stats, trace);
     }
     case Algorithm::kCarpenterLists:
     case Algorithm::kCarpenterTable: {
@@ -73,37 +77,37 @@ Status MineClosed(const TransactionDatabase& db, const MinerOptions& options,
       carpenter.transaction_order = options.transaction_order;
       carpenter.item_elimination = options.item_elimination;
       if (options.algorithm == Algorithm::kCarpenterLists) {
-        return MineClosedCarpenterLists(db, carpenter, callback);
+        return MineClosedCarpenterLists(db, carpenter, callback, stats);
       }
-      return MineClosedCarpenterTable(db, carpenter, callback);
+      return MineClosedCarpenterTable(db, carpenter, callback, stats);
     }
     case Algorithm::kFlatCumulative: {
       FlatCumulativeOptions flat;
       flat.min_support = options.min_support;
       flat.item_elimination = options.item_elimination;
       flat.transaction_order = options.transaction_order;
-      return MineClosedFlatCumulative(db, flat, callback);
+      return MineClosedFlatCumulative(db, flat, callback, stats);
     }
     case Algorithm::kFpClose: {
       FpCloseOptions fpclose;
       fpclose.min_support = options.min_support;
-      return MineClosedFpClose(db, fpclose, callback);
+      return MineClosedFpClose(db, fpclose, callback, stats);
     }
     case Algorithm::kLcm: {
       LcmOptions lcm;
       lcm.min_support = options.min_support;
       lcm.num_threads = options.num_threads;
-      return MineClosedLcm(db, lcm, callback);
+      return MineClosedLcm(db, lcm, callback, stats);
     }
     case Algorithm::kCharm: {
       CharmOptions charm;
       charm.min_support = options.min_support;
-      return MineClosedCharm(db, charm, callback);
+      return MineClosedCharm(db, charm, callback, stats);
     }
     case Algorithm::kTransposed: {
       TransposedOptions transposed;
       transposed.min_support = options.min_support;
-      return MineClosedTransposed(db, transposed, callback);
+      return MineClosedTransposed(db, transposed, callback, stats);
     }
     case Algorithm::kCobbler: {
       CobblerOptions cobbler;
@@ -111,16 +115,17 @@ Status MineClosed(const TransactionDatabase& db, const MinerOptions& options,
       cobbler.item_order = options.item_order;
       cobbler.transaction_order = options.transaction_order;
       cobbler.item_elimination = options.item_elimination;
-      return MineClosedCobbler(db, cobbler, callback);
+      return MineClosedCobbler(db, cobbler, callback, stats);
     }
   }
   return Status::InvalidArgument("unknown algorithm");
 }
 
 Result<std::vector<ClosedItemset>> MineClosedCollect(
-    const TransactionDatabase& db, const MinerOptions& options) {
+    const TransactionDatabase& db, const MinerOptions& options,
+    MinerStats* stats, obs::Trace* trace) {
   ClosedSetCollector collector;
-  Status status = MineClosed(db, options, collector.AsCallback());
+  Status status = MineClosed(db, options, collector.AsCallback(), stats, trace);
   if (!status.ok()) return status;
   collector.SortCanonical();
   return collector.TakeSets();

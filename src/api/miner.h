@@ -9,6 +9,8 @@
 #include "data/itemset.h"
 #include "data/recode.h"
 #include "data/transaction_database.h"
+#include "obs/miner_stats.h"
+#include "obs/trace.h"
 
 namespace fim {
 
@@ -62,12 +64,23 @@ struct MinerOptions {
 /// algorithm. Every algorithm produces the identical output: each closed
 /// frequent item set exactly once, items ascending by original id; the
 /// empty set is never reported.
+///
+/// `stats` (optional) receives the uniform MinerStats snapshot — every
+/// algorithm fills the fields of its family (see obs/miner_stats.h and
+/// docs/OBSERVABILITY.md) plus sets_reported. `trace` (optional)
+/// receives phase spans: a "mine" span for every algorithm, with IsTa's
+/// internal phases (recode, dedup, shard-mine, merge, report) nested
+/// below it. Instrumentation is output-neutral: the mined sets and
+/// their order are bit-identical whether stats/trace are requested or
+/// not, at every thread count.
 Status MineClosed(const TransactionDatabase& db, const MinerOptions& options,
-                  const ClosedSetCallback& callback);
+                  const ClosedSetCallback& callback,
+                  MinerStats* stats = nullptr, obs::Trace* trace = nullptr);
 
 /// Convenience wrapper collecting the output in canonical order.
 Result<std::vector<ClosedItemset>> MineClosedCollect(
-    const TransactionDatabase& db, const MinerOptions& options);
+    const TransactionDatabase& db, const MinerOptions& options,
+    MinerStats* stats = nullptr, obs::Trace* trace = nullptr);
 
 }  // namespace fim
 

@@ -8,6 +8,7 @@
 #include "data/itemset.h"
 #include "data/recode.h"
 #include "data/transaction_database.h"
+#include "obs/miner_stats.h"
 
 namespace fim {
 
@@ -28,12 +29,9 @@ struct CarpenterOptions {
   bool item_elimination = true;
 };
 
-/// Execution statistics (optional output).
-struct CarpenterStats {
-  std::size_t nodes_visited = 0;   // transaction-set enumeration nodes
-  std::size_t repo_sets = 0;       // intersections stored for dup pruning
-  std::size_t repo_hits = 0;       // branches pruned via the repository
-};
+// Execution statistics (optional output): the unified MinerStats snapshot
+// (obs/miner_stats.h) under its historical name. Both variants populate
+// nodes_visited, repo_sets, repo_hits, and sets_reported.
 
 /// Carpenter with the vertical tid-list representation (paper §3.1.1):
 /// per item an array of transaction indices plus per-branch cursors.

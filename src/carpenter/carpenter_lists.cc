@@ -106,6 +106,7 @@ class ListsMiner {
     if (supp >= min_support_) {
       key.clear();
       for (const Entry& e : sweep) key.push_back(e.item);
+      if (stats_ != nullptr) ++stats_->sets_reported;
       callback_(key, supp);
     }
   }

@@ -143,7 +143,10 @@ class TableMiner {
         ++stats_->repo_hits;
       }
     }
-    if (supp >= min_support_) callback_(items, supp);
+    if (supp >= min_support_) {
+      if (stats_ != nullptr) ++stats_->sets_reported;
+      callback_(items, supp);
+    }
   }
 
   std::vector<Support> matrix_;

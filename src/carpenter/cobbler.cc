@@ -52,6 +52,7 @@ class CobblerMiner {
     if (stats_ != nullptr) ++stats_->nodes_visited;
 
     if (ShouldSwitch(entries.size(), l)) {
+      if (stats_ != nullptr) ++stats_->column_switches;
       MineConditionalByColumns(entries, count, l);
       return;
     }
@@ -107,6 +108,7 @@ class CobblerMiner {
     if (supp >= options_.min_support) {
       key.clear();
       for (const Entry& e : sweep) key.push_back(e.item);
+      if (stats_ != nullptr) ++stats_->sets_reported;
       callback_(key, supp);
     }
     // Undo the absorptions recorded during this sweep.
@@ -147,6 +149,7 @@ class CobblerMiner {
     // transaction contains I.
     const Support current_support = count + rows_equal_to_current;
     if (current_support >= options_.min_support) {
+      if (stats_ != nullptr) ++stats_->sets_reported;
       callback_(current, current_support);
     }
     repo_.InsertIfAbsent(current);
@@ -168,7 +171,10 @@ class CobblerMiner {
           std::vector<ItemId> set(items.begin(), items.end());
           if (!ContainedInEarlierUnchosen(set, l)) {
             const Support support = count + sub_support;
-            if (support >= options_.min_support) callback_(set, support);
+            if (support >= options_.min_support) {
+              if (stats_ != nullptr) ++stats_->sets_reported;
+              callback_(set, support);
+            }
           }
           // Either way the subtree around it is fully covered now.
           repo_.InsertIfAbsent(set);

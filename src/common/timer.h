@@ -2,6 +2,12 @@
 #define FIM_COMMON_TIMER_H_
 
 #include <chrono>
+#include <cstddef>
+#include <ctime>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 namespace fim {
 
@@ -22,6 +28,55 @@ class WallTimer {
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
+
+/// CPU-time stopwatch over the calling thread's CPU clock. Measures time
+/// the thread actually executed, so a span that sleeps (or waits on a
+/// join) shows wall >> cpu, and a span whose workers saturate the cores
+/// shows cpu ~ wall on the worker threads. Construct and read on the
+/// same thread.
+class CpuTimer {
+ public:
+  CpuTimer() : start_(Now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Now(); }
+
+  /// Thread CPU seconds since construction or the last Reset().
+  double Seconds() const { return Now() - start_; }
+
+  /// The calling thread's CPU clock in seconds (monotone per thread).
+  static double Now() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+      return static_cast<double>(ts.tv_sec) +
+             static_cast<double>(ts.tv_nsec) * 1e-9;
+    }
+#endif
+    // Fallback: process CPU time; coarse but monotone.
+    return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+  }
+
+ private:
+  double start_;
+};
+
+/// Peak resident set size of the process in bytes, or 0 when the
+/// platform does not expose it. Monotone over the process lifetime
+/// (`ru_maxrss` is a high-water mark), so record it once at report time.
+inline std::size_t PeakRss() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
 
 }  // namespace fim
 

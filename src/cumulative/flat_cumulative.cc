@@ -28,10 +28,12 @@ using Repository =
 
 Status MineClosedFlatCumulative(const TransactionDatabase& db,
                                 const FlatCumulativeOptions& options,
-                                const ClosedSetCallback& callback) {
+                                const ClosedSetCallback& callback,
+                                MinerStats* stats) {
   if (options.min_support == 0) {
     return Status::InvalidArgument("min_support must be >= 1");
   }
+  if (stats != nullptr) *stats = MinerStats{};
   if (db.NumTransactions() == 0) return Status::OK();
 
   const Support min_item_support =
@@ -50,6 +52,7 @@ Status MineClosedFlatCumulative(const TransactionDatabase& db,
   for (const auto& t : coded.transactions()) {
     updates.clear();
     updates.emplace(t, 0);
+    if (stats != nullptr) stats->isect_steps += repo.size();
     for (const auto& [stored, support] : repo) {
       std::vector<ItemId> inter = IntersectSorted(stored, t);
       if (inter.empty()) continue;
@@ -65,6 +68,10 @@ Status MineClosedFlatCumulative(const TransactionDatabase& db,
     }
   }
 
+  if (stats != nullptr) {
+    stats->repo_sets = repo.size();
+    stats->final_nodes = repo.size();
+  }
   const ClosedSetCallback decoded = MakeDecodingCallback(recoding, callback);
   for (const auto& [items, support] : repo) {
     FIM_DCHECK(!items.empty() &&
@@ -74,7 +81,10 @@ Status MineClosedFlatCumulative(const TransactionDatabase& db,
     FIM_DCHECK(support >= 1 && support <= coded.NumTransactions())
         << "stored support " << support << " outside [1, "
         << coded.NumTransactions() << "]";
-    if (support >= options.min_support) decoded(items, support);
+    if (support >= options.min_support) {
+      if (stats != nullptr) ++stats->sets_reported;
+      decoded(items, support);
+    }
   }
   return Status::OK();
 }

@@ -5,6 +5,7 @@
 #include "data/itemset.h"
 #include "data/recode.h"
 #include "data/transaction_database.h"
+#include "obs/miner_stats.h"
 
 namespace fim {
 
@@ -26,9 +27,13 @@ struct FlatCumulativeOptions {
 /// C(T + t) = C(T) + {t} + {s ∩ t : s ∈ C(T)}, with the repository kept
 /// as a hash map from item set to support. Exact but deliberately naive —
 /// this is the ablation baseline that motivates IsTa's prefix tree.
+/// `stats` (optional) receives isect_steps (pairwise set intersections
+/// computed), repo_sets (final repository size), final_nodes, and
+/// sets_reported; output-neutral.
 Status MineClosedFlatCumulative(const TransactionDatabase& db,
                                 const FlatCumulativeOptions& options,
-                                const ClosedSetCallback& callback);
+                                const ClosedSetCallback& callback,
+                                MinerStats* stats = nullptr);
 
 }  // namespace fim
 

@@ -17,8 +17,9 @@ struct Node {
 
 class CharmMiner {
  public:
-  CharmMiner(Support min_support, const ClosedSetCallback& callback)
-      : min_support_(min_support), callback_(callback) {}
+  CharmMiner(Support min_support, const ClosedSetCallback& callback,
+             MinerStats* stats)
+      : min_support_(min_support), callback_(callback), stats_(stats) {}
 
   void Run(std::vector<Node> roots) { Extend(&roots); }
 
@@ -42,6 +43,7 @@ class CharmMiner {
       for (std::size_t j = i + 1; j < nodes->size(); ++j) {
         Node& other = (*nodes)[j];
         if (other.items.empty()) continue;
+        if (stats_ != nullptr) ++stats_->extension_checks;
         std::vector<Tid> inter;
         inter.reserve(std::min(current.tids.size(), other.tids.size()));
         std::set_intersection(current.tids.begin(), current.tids.end(),
@@ -51,11 +53,13 @@ class CharmMiner {
         const bool covers_other = inter.size() == other.tids.size();
         if (covers_current && covers_other) {
           // Property 1: identical tidsets -> merge, drop the other branch.
+          if (stats_ != nullptr) ++stats_->closure_checks;
           MergeItems(&current.items, other.items);
           other.items.clear();
         } else if (covers_current) {
           // Property 2: t(current) subset of t(other): every closed set
           // containing `current` also contains `other`'s items.
+          if (stats_ != nullptr) ++stats_->closure_checks;
           MergeItems(&current.items, other.items);
         } else if (inter.size() >= min_support_) {
           // Properties 3/4: a genuine new candidate below `current`.
@@ -94,17 +98,20 @@ class CharmMiner {
     for (Tid t : node.tids) hash += t;  // CHARM's tidset-sum hash
     auto& bucket = reported_[hash];
     for (const auto& existing : bucket) {
+      if (stats_ != nullptr) ++stats_->subsume_checks;
       if (existing.second == support &&
           IsSubsetSorted(node.items, existing.first)) {
         return;  // subsumed: not closed
       }
     }
+    if (stats_ != nullptr) ++stats_->sets_reported;
     callback_(node.items, support);
     bucket.emplace_back(node.items, support);
   }
 
   const Support min_support_;
   const ClosedSetCallback& callback_;
+  MinerStats* stats_;
   std::unordered_map<std::size_t,
                      std::vector<std::pair<std::vector<ItemId>, Support>>>
       reported_;
@@ -114,10 +121,11 @@ class CharmMiner {
 
 Status MineClosedCharm(const TransactionDatabase& db,
                        const CharmOptions& options,
-                       const ClosedSetCallback& callback) {
+                       const ClosedSetCallback& callback, MinerStats* stats) {
   if (options.min_support == 0) {
     return Status::InvalidArgument("min_support must be >= 1");
   }
+  if (stats != nullptr) *stats = MinerStats{};
   if (db.NumTransactions() == 0) return Status::OK();
 
   const Recoding recoding = ComputeRecoding(
@@ -137,7 +145,7 @@ Status MineClosedCharm(const TransactionDatabase& db,
   }
 
   const ClosedSetCallback decoded = MakeDecodingCallback(recoding, callback);
-  CharmMiner miner(options.min_support, decoded);
+  CharmMiner miner(options.min_support, decoded, stats);
   miner.Run(std::move(roots));
   return Status::OK();
 }

@@ -4,6 +4,7 @@
 #include "common/status.h"
 #include "data/itemset.h"
 #include "data/transaction_database.h"
+#include "obs/miner_stats.h"
 
 namespace fim {
 
@@ -18,9 +19,13 @@ struct CharmOptions {
 /// properties to grow closures and prune the search, plus a subsumption
 /// check before reporting. A third enumeration-side baseline next to
 /// FP-close and LCM. Same output contract as the other miners.
+/// `stats` (optional) receives extension_checks (tidset pairs examined),
+/// closure_checks (property-1/2 item merges), subsume_checks (bucket
+/// comparisons before reporting), and sets_reported; output-neutral.
 Status MineClosedCharm(const TransactionDatabase& db,
                        const CharmOptions& options,
-                       const ClosedSetCallback& callback);
+                       const ClosedSetCallback& callback,
+                       MinerStats* stats = nullptr);
 
 }  // namespace fim
 

@@ -18,7 +18,8 @@ struct Candidate {
 
 class FpCloseMiner {
  public:
-  FpCloseMiner(Support min_support) : min_support_(min_support) {}
+  FpCloseMiner(Support min_support, MinerStats* stats)
+      : min_support_(min_support), stats_(stats) {}
 
   std::vector<Candidate> Run(const TransactionDatabase& coded) {
     FpTree tree(coded.NumItems());
@@ -50,6 +51,7 @@ class FpCloseMiner {
           std::unique(candidate.items.begin(), candidate.items.end()),
           candidate.items.end());
       candidate.support = prefix_support;
+      if (stats_ != nullptr) ++stats_->candidate_sets;
       candidates_.push_back(std::move(candidate));
     }
 
@@ -61,6 +63,7 @@ class FpCloseMiner {
       const Support supp = tree.ItemSupport(item);
       if (supp < min_support_ || supp == prefix_support) continue;
 
+      if (stats_ != nullptr) ++stats_->conditional_trees;
       auto paths = tree.ConditionalPaths(item);
       // Count conditional item frequencies to drop infrequent items.
       std::unordered_map<ItemId, Support> freq;
@@ -85,13 +88,15 @@ class FpCloseMiner {
   }
 
   const Support min_support_;
+  MinerStats* stats_;
   std::vector<Candidate> candidates_;
 };
 
 // Keeps only candidates with no same-support proper superset among the
 // candidates (processing larger sets first makes a single pass correct,
 // because the closure of any non-closed candidate is itself a candidate).
-std::vector<Candidate> FilterClosed(std::vector<Candidate> candidates) {
+std::vector<Candidate> FilterClosed(std::vector<Candidate> candidates,
+                                    MinerStats* stats) {
   std::sort(candidates.begin(), candidates.end(),
             [](const Candidate& a, const Candidate& b) {
               return a.items.size() > b.items.size();
@@ -104,6 +109,7 @@ std::vector<Candidate> FilterClosed(std::vector<Candidate> candidates) {
     auto it = kept_by_support.find(candidate.support);
     if (it != kept_by_support.end()) {
       for (std::size_t k : it->second) {
+        if (stats != nullptr) ++stats->subsume_checks;
         if (kept[k].items.size() >= candidate.items.size() &&
             IsSubsetSorted(candidate.items, kept[k].items)) {
           subsumed = true;
@@ -123,10 +129,12 @@ std::vector<Candidate> FilterClosed(std::vector<Candidate> candidates) {
 
 Status MineClosedFpClose(const TransactionDatabase& db,
                          const FpCloseOptions& options,
-                         const ClosedSetCallback& callback) {
+                         const ClosedSetCallback& callback,
+                         MinerStats* stats) {
   if (options.min_support == 0) {
     return Status::InvalidArgument("min_support must be >= 1");
   }
+  if (stats != nullptr) *stats = MinerStats{};
   if (db.NumTransactions() == 0) return Status::OK();
 
   const Recoding recoding = ComputeRecoding(
@@ -135,11 +143,12 @@ Status MineClosedFpClose(const TransactionDatabase& db,
       ApplyRecoding(db, recoding, TransactionOrder::kNone);
   if (coded.NumTransactions() == 0) return Status::OK();
 
-  FpCloseMiner miner(options.min_support);
+  FpCloseMiner miner(options.min_support, stats);
   std::vector<Candidate> candidates = miner.Run(coded);
-  std::vector<Candidate> closed = FilterClosed(std::move(candidates));
+  std::vector<Candidate> closed = FilterClosed(std::move(candidates), stats);
 
   const ClosedSetCallback decoded = MakeDecodingCallback(recoding, callback);
+  if (stats != nullptr) stats->sets_reported = closed.size();
   for (const auto& set : closed) decoded(set.items, set.support);
   return Status::OK();
 }

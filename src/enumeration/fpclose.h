@@ -4,6 +4,7 @@
 #include "common/status.h"
 #include "data/itemset.h"
 #include "data/transaction_database.h"
+#include "obs/miner_stats.h"
 
 namespace fim {
 
@@ -19,9 +20,14 @@ struct FpCloseOptions {
 /// candidates {generator + perfect extensions}; a final subsumption
 /// filter (same support, proper superset) leaves exactly the closed sets.
 /// Same output contract as the intersection miners.
+/// `stats` (optional) receives conditional_trees (conditional FP-tree
+/// projections built), candidate_sets (candidates before the closed
+/// filter), subsume_checks (filter comparisons), and sets_reported;
+/// output-neutral.
 Status MineClosedFpClose(const TransactionDatabase& db,
                          const FpCloseOptions& options,
-                         const ClosedSetCallback& callback);
+                         const ClosedSetCallback& callback,
+                         MinerStats* stats = nullptr);
 
 }  // namespace fim
 

@@ -53,24 +53,29 @@ class LcmCore {
 
   // Prefix-preserving closure extension below (p, occ, core): extend by
   // every item above the core; keep an extension only if the closure
-  // agrees with p below the extension item.
+  // agrees with p below the extension item. `stats` (nullable) is the
+  // calling worker's private snapshot.
   void Extend(const std::vector<ItemId>& p, const std::vector<Tid>& occ,
-              ItemId core, const ClosedSetCallback& sink) const {
+              ItemId core, const ClosedSetCallback& sink,
+              MinerStats* stats) const {
     const std::size_t num_items = db_.NumItems();
     const ItemId first =
         core == kInvalidItem ? 0 : static_cast<ItemId>(core + 1);
     for (ItemId i = first; i < num_items; ++i) {
       if (std::binary_search(p.begin(), p.end(), i)) continue;
+      if (stats != nullptr) ++stats->extension_checks;
       std::vector<Tid> occ_i = OccurrencesOf(occ, i);
       if (occ_i.size() < min_support_) continue;
+      if (stats != nullptr) ++stats->closure_checks;
       std::vector<ItemId> q = ComputeClosure(occ_i);
       if (!PrefixPreserved(p, q, i)) continue;
       FIM_DCHECK(std::binary_search(q.begin(), q.end(), i))
           << "closure of an extension by item " << i << " must contain it";
       FIM_DCHECK(IsSubsetSorted(p, q))
           << "closure must be a superset of the extended set";
+      if (stats != nullptr) ++stats->sets_reported;
       sink(q, static_cast<Support>(occ_i.size()));
-      Extend(q, occ_i, i, sink);
+      Extend(q, occ_i, i, sink, stats);
     }
   }
 
@@ -91,32 +96,39 @@ struct FirstLevelTask {
 
 void MineParallel(const LcmCore& core, const std::vector<ItemId>& root,
                   const std::vector<Tid>& all, unsigned num_threads,
-                  const ClosedSetCallback& callback) {
+                  const ClosedSetCallback& callback, MinerStats* stats) {
   // Materialize the first level sequentially (cheap: one pass over the
   // items), then fan the subtrees out to the workers.
   std::vector<FirstLevelTask> tasks;
   const std::size_t num_items = core.db().NumItems();
   for (ItemId i = 0; i < num_items; ++i) {
     if (std::binary_search(root.begin(), root.end(), i)) continue;
+    if (stats != nullptr) ++stats->extension_checks;
     std::vector<Tid> occ_i = core.OccurrencesOf(all, i);
     if (occ_i.size() < core.min_support()) continue;
+    if (stats != nullptr) ++stats->closure_checks;
     std::vector<ItemId> q = core.ComputeClosure(occ_i);
     if (!LcmCore::PrefixPreserved(root, q, i)) continue;
     tasks.push_back(FirstLevelTask{std::move(q), std::move(occ_i), i});
   }
 
+  // One private stats slot per task; workers never share mutable state,
+  // the aggregation below happens after the join.
   std::vector<std::vector<ClosedItemset>> results(tasks.size());
+  std::vector<MinerStats> task_stats(stats != nullptr ? tasks.size() : 0);
   std::atomic<std::size_t> next{0};
   auto worker = [&]() {
     for (;;) {
       const std::size_t t = next.fetch_add(1);
       if (t >= tasks.size()) return;
+      MinerStats* slot = stats != nullptr ? &task_stats[t] : nullptr;
       ClosedSetCollector collector;
       const ClosedSetCallback sink = collector.AsCallback();
+      if (slot != nullptr) ++slot->sets_reported;
       sink(tasks[t].closed_set, static_cast<Support>(
                                     tasks[t].occurrences.size()));
       core.Extend(tasks[t].closed_set, tasks[t].occurrences, tasks[t].core,
-                  sink);
+                  sink, slot);
       results[t] = collector.TakeSets();
     }
   };
@@ -125,6 +137,10 @@ void MineParallel(const LcmCore& core, const std::vector<ItemId>& root,
   threads.reserve(n);
   for (unsigned w = 0; w < n; ++w) threads.emplace_back(worker);
   for (auto& thread : threads) thread.join();
+
+  if (stats != nullptr) {
+    for (const MinerStats& s : task_stats) stats->MergeFrom(s);
+  }
 
   // Emit in task order: identical to the sequential DFS order.
   for (const auto& chunk : results) {
@@ -135,10 +151,11 @@ void MineParallel(const LcmCore& core, const std::vector<ItemId>& root,
 }  // namespace
 
 Status MineClosedLcm(const TransactionDatabase& db, const LcmOptions& options,
-                     const ClosedSetCallback& callback) {
+                     const ClosedSetCallback& callback, MinerStats* stats) {
   if (options.min_support == 0) {
     return Status::InvalidArgument("min_support must be >= 1");
   }
+  if (stats != nullptr) *stats = MinerStats{};
   if (db.NumTransactions() == 0) return Status::OK();
 
   const Recoding recoding = ComputeRecoding(
@@ -156,13 +173,17 @@ Status MineClosedLcm(const TransactionDatabase& db, const LcmOptions& options,
   for (std::size_t k = 0; k < all.size(); ++k) all[k] = static_cast<Tid>(k);
 
   // closure(empty set): the items contained in every transaction.
+  if (stats != nullptr) ++stats->closure_checks;
   std::vector<ItemId> root = core.ComputeClosure(all);
-  if (!root.empty()) decoded(root, n);
+  if (!root.empty()) {
+    if (stats != nullptr) ++stats->sets_reported;
+    decoded(root, n);
+  }
 
   if (options.num_threads <= 1) {
-    core.Extend(root, all, kInvalidItem, decoded);
+    core.Extend(root, all, kInvalidItem, decoded, stats);
   } else {
-    MineParallel(core, root, all, options.num_threads, decoded);
+    MineParallel(core, root, all, options.num_threads, decoded, stats);
   }
   return Status::OK();
 }

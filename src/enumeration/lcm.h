@@ -4,6 +4,7 @@
 #include "common/status.h"
 #include "data/itemset.h"
 #include "data/transaction_database.h"
+#include "obs/miner_stats.h"
 
 namespace fim {
 
@@ -23,8 +24,12 @@ struct LcmOptions {
 /// generated exactly once from its core prefix, so no repository or
 /// post-filter is needed and memory stays linear in the input. Same
 /// output contract as the other miners.
+/// `stats` (optional) receives extension_checks (candidate extensions
+/// examined), closure_checks (closure computations), and sets_reported,
+/// aggregated over all workers; output-neutral.
 Status MineClosedLcm(const TransactionDatabase& db, const LcmOptions& options,
-                     const ClosedSetCallback& callback);
+                     const ClosedSetCallback& callback,
+                     MinerStats* stats = nullptr);
 
 }  // namespace fim
 

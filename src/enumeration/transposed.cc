@@ -10,10 +10,11 @@ namespace {
 class TransposedMiner {
  public:
   TransposedMiner(const TransactionDatabase& db, Support min_support,
-                  const ClosedSetCallback& callback)
+                  const ClosedSetCallback& callback, MinerStats* stats)
       : min_support_(min_support),
         num_tids_(static_cast<Tid>(db.NumTransactions())),
-        callback_(callback) {
+        callback_(callback),
+        stats_(stats) {
     // The transpose's transactions are the tid lists of the used items;
     // remember which original item each corresponds to.
     auto tidlists = db.BuildVertical();
@@ -31,6 +32,7 @@ class TransposedMiner {
     // used item's list.
     std::vector<std::size_t> all_rows(rows_.size());
     for (std::size_t k = 0; k < rows_.size(); ++k) all_rows[k] = k;
+    if (stats_ != nullptr) ++stats_->closure_checks;
     std::vector<Tid> root = IntersectRows(all_rows);
     if (root.size() >= min_support_) Report(root, all_rows);
     Extend(root, all_rows, /*core=*/static_cast<Tid>(-1));
@@ -62,6 +64,7 @@ class TransposedMiner {
       // the minimum size (= original minimum support).
       if (p.size() + (num_tids_ - e) < min_support_) break;
       if (std::binary_search(p.begin(), p.end(), e)) continue;
+      if (stats_ != nullptr) ++stats_->extension_checks;
       std::vector<std::size_t> occ_e;
       occ_e.reserve(occ.size());
       for (std::size_t k : occ) {
@@ -70,6 +73,7 @@ class TransposedMiner {
         }
       }
       if (occ_e.empty()) continue;  // support over the transpose is zero
+      if (stats_ != nullptr) ++stats_->closure_checks;
       std::vector<Tid> q = IntersectRows(occ_e);
       if (!PrefixPreserved(p, q, e)) continue;
       if (q.size() >= min_support_) Report(q, occ_e);
@@ -92,12 +96,14 @@ class TransposedMiner {
     std::vector<ItemId> items;
     items.reserve(occ.size());
     for (std::size_t row : occ) items.push_back(used_items_[row]);
+    if (stats_ != nullptr) ++stats_->sets_reported;
     callback_(items, static_cast<Support>(k.size()));
   }
 
   const Support min_support_;
   const Tid num_tids_;
   const ClosedSetCallback& callback_;
+  MinerStats* stats_;
   std::vector<ItemId> used_items_;
   std::vector<std::vector<Tid>> rows_;
 };
@@ -106,12 +112,14 @@ class TransposedMiner {
 
 Status MineClosedTransposed(const TransactionDatabase& db,
                             const TransposedOptions& options,
-                            const ClosedSetCallback& callback) {
+                            const ClosedSetCallback& callback,
+                            MinerStats* stats) {
   if (options.min_support == 0) {
     return Status::InvalidArgument("min_support must be >= 1");
   }
+  if (stats != nullptr) *stats = MinerStats{};
   if (db.NumTransactions() == 0) return Status::OK();
-  TransposedMiner miner(db, options.min_support, callback);
+  TransposedMiner miner(db, options.min_support, callback, stats);
   miner.Run();
   return Status::OK();
 }

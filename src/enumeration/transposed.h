@@ -4,6 +4,7 @@
 #include "common/status.h"
 #include "data/itemset.h"
 #include "data/transaction_database.h"
+#include "obs/miner_stats.h"
 
 namespace fim {
 
@@ -23,9 +24,13 @@ struct TransposedOptions {
 /// look-ahead bound — and maps each one back through g (the intersection
 /// of the selected transactions). Efficient exactly when the original
 /// database has few transactions, i.e. the same regime as IsTa/Carpenter.
+/// `stats` (optional) receives extension_checks (tid extensions
+/// examined), closure_checks (transpose closures computed), and
+/// sets_reported; output-neutral.
 Status MineClosedTransposed(const TransactionDatabase& db,
                             const TransposedOptions& options,
-                            const ClosedSetCallback& callback);
+                            const ClosedSetCallback& callback,
+                            MinerStats* stats = nullptr);
 
 }  // namespace fim
 

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "ista/prefix_tree.h"
+#include "obs/trace.h"
 
 namespace fim {
 
@@ -43,33 +44,55 @@ std::vector<WeightedTransaction> BuildWeightedStream(
 /// whole coded database: only the slice's own occurrences are subtracted
 /// as it advances, so entries of other slices stay counted as
 /// "remaining" — exactly what makes the item-elimination pruning sound
-/// against supports that other slices may still contribute.
-///
+/// against supports that other slices may still contribute. The
+/// repository tracks its own peak/prune/isect statistics.
 IstaPrefixTree MineShard(const std::vector<WeightedTransaction>& stream,
                          std::size_t start, std::size_t end,
                          std::size_t num_items, std::vector<Support>* remaining,
-                         const IstaOptions& options, std::size_t* peak_nodes,
-                         std::size_t* prune_calls) {
+                         const IstaOptions& options) {
   IstaPrefixTree tree(num_items);
   std::size_t prune_threshold = options.prune_node_threshold;
   for (std::size_t k = start; k < end; ++k) {
     const WeightedTransaction& wt = stream[k];
     tree.AddTransaction(*wt.items, wt.weight);
     for (ItemId i : *wt.items) (*remaining)[i] -= wt.weight;
-    *peak_nodes = std::max(*peak_nodes, tree.NodeCount());
     if (options.item_elimination && tree.NodeCount() > prune_threshold) {
       tree.Prune(options.min_support, *remaining);
       prune_threshold = std::max(prune_threshold, 2 * tree.NodeCount());
-      ++*prune_calls;
     }
   }
   return tree;
 }
 
+/// Copies the repository's own counters into the snapshot and reports the
+/// final tree, counting the emitted sets. The counting wrapper only
+/// observes the callback sequence, so the output is identical with and
+/// without stats.
+void ReportWithStats(const IstaPrefixTree& tree, const Recoding& recoding,
+                     Support min_support, const ClosedSetCallback& callback,
+                     IstaStats* stats) {
+  if (stats == nullptr) {
+    tree.Report(min_support, MakeDecodingCallback(recoding, callback));
+    return;
+  }
+  stats->peak_nodes = tree.PeakNodeCount();
+  stats->final_nodes = tree.NodeCount();
+  stats->prune_calls = tree.PruneCount();
+  stats->isect_steps = tree.IsectSteps();
+  const ClosedSetCallback decoding = MakeDecodingCallback(recoding, callback);
+  tree.Report(min_support,
+              [stats, &decoding](std::span<const ItemId> items,
+                                 Support support) {
+                ++stats->sets_reported;
+                decoding(items, support);
+              });
+}
+
 }  // namespace
 
 Status MineClosedIsta(const TransactionDatabase& db, const IstaOptions& options,
-                      const ClosedSetCallback& callback, IstaStats* stats) {
+                      const ClosedSetCallback& callback, IstaStats* stats,
+                      obs::Trace* trace) {
   if (options.min_support == 0) {
     return Status::InvalidArgument("min_support must be >= 1");
   }
@@ -80,14 +103,18 @@ Status MineClosedIsta(const TransactionDatabase& db, const IstaOptions& options,
   // frequent set, order the transactions (paper §3.4).
   const Support min_item_support =
       options.item_elimination ? options.min_support : 1;
+  obs::Span recode_span(trace, "recode");
   const Recoding recoding =
       ComputeRecoding(db, options.item_order, min_item_support);
   const TransactionDatabase coded = ApplyRecoding(
       db, recoding, options.transaction_order, options.num_threads);
+  recode_span.End();
   if (coded.NumTransactions() == 0) return Status::OK();
 
+  obs::Span dedup_span(trace, "dedup");
   const std::vector<WeightedTransaction> stream =
       BuildWeightedStream(coded, options.merge_duplicate_transactions);
+  dedup_span.End();
   if (stats != nullptr) stats->weighted_transactions = stream.size();
 
   // Remaining occurrences of each item over the full coded database; each
@@ -98,19 +125,14 @@ Status MineClosedIsta(const TransactionDatabase& db, const IstaOptions& options,
       std::max(1u, options.num_threads), stream.size());
 
   if (num_workers <= 1) {
-    std::size_t peak_nodes = 0;
-    std::size_t prune_calls = 0;
     std::vector<Support> remaining = frequencies;
-    IstaPrefixTree tree =
-        MineShard(stream, 0, stream.size(), coded.NumItems(), &remaining,
-                  options, &peak_nodes, &prune_calls);
-    if (stats != nullptr) {
-      stats->peak_nodes = peak_nodes;
-      stats->prune_calls = prune_calls;
-      stats->final_nodes = tree.NodeCount();
-    }
+    obs::Span mine_span(trace, "shard-mine");
+    IstaPrefixTree tree = MineShard(stream, 0, stream.size(), coded.NumItems(),
+                                    &remaining, options);
+    mine_span.End();
     FIM_DCHECK_OK(tree.ValidateInvariants());
-    tree.Report(options.min_support, MakeDecodingCallback(recoding, callback));
+    obs::Span report_span(trace, "report");
+    ReportWithStats(tree, recoding, options.min_support, callback, stats);
     return Status::OK();
   }
 
@@ -125,9 +147,8 @@ Status MineClosedIsta(const TransactionDatabase& db, const IstaOptions& options,
   // Merge stays exact on pruned repositories.
   std::vector<std::optional<IstaPrefixTree>> trees(num_workers);
   std::vector<std::vector<Support>> remaining(num_workers);
-  std::vector<std::size_t> peak_nodes(num_workers, 0);
-  std::vector<std::size_t> prune_calls(num_workers, 0);
   {
+    obs::Span mine_span(trace, "shard-mine");
     std::vector<std::thread> workers;
     workers.reserve(num_workers);
     for (std::size_t w = 0; w < num_workers; ++w) {
@@ -136,11 +157,9 @@ Status MineClosedIsta(const TransactionDatabase& db, const IstaOptions& options,
         const std::size_t end = (w + 1) * stream.size() / num_workers;
         remaining[w] = frequencies;
         trees[w].emplace(MineShard(stream, begin, end, coded.NumItems(),
-                                   &remaining[w], options, &peak_nodes[w],
-                                   &prune_calls[w]));
+                                   &remaining[w], options));
         if (options.item_elimination) {
           trees[w]->Prune(options.min_support, remaining[w]);
-          ++prune_calls[w];
         }
       });
     }
@@ -156,54 +175,53 @@ Status MineClosedIsta(const TransactionDatabase& db, const IstaOptions& options,
   // the occurrences still outside it are remaining_a + remaining_b -
   // total; pruning against that bound after every merge keeps the
   // repositories shrinking as their coverage grows (by the final merge
-  // it reaches full sequential pruning strength).
+  // it reaches full sequential pruning strength). Merge folds the
+  // absorbed repository's peak/prune/isect counters into the target, so
+  // the final tree carries the totals over all workers and stages.
   std::size_t merge_calls = 0;
-  for (std::size_t stride = 1; stride < num_workers; stride *= 2) {
-    std::vector<std::thread> mergers;
-    for (std::size_t i = 0; i + stride < num_workers; i += 2 * stride) {
-      ++merge_calls;
-      mergers.emplace_back([&trees, &remaining, &peak_nodes, &prune_calls,
-                            &frequencies, &options, i, stride]() {
-        // Replaying the smaller repository into the larger one is
-        // cheaper (the replay visits every stored set of the source);
-        // the result is identical either way. The remaining table
-        // travels with its tree: the mid-merge pruning bound is the
-        // occurrences outside the *target's* own pre-merge stream.
-        if (trees[i]->NodeCount() < trees[i + stride]->NodeCount()) {
-          std::swap(trees[i], trees[i + stride]);
-          std::swap(remaining[i], remaining[i + stride]);
-        }
-        if (options.item_elimination) {
-          trees[i]->Merge(*trees[i + stride], options.min_support,
-                          remaining[i], options.prune_node_threshold);
-        } else {
-          trees[i]->Merge(*trees[i + stride]);
-        }
-        trees[i + stride].reset();  // release the absorbed repository
-        peak_nodes[i] = std::max(peak_nodes[i], trees[i]->NodeCount());
-        for (std::size_t item = 0; item < frequencies.size(); ++item) {
-          remaining[i][item] = remaining[i][item] +
-                               remaining[i + stride][item] -
-                               frequencies[item];
-        }
-        if (options.item_elimination) {
-          trees[i]->Prune(options.min_support, remaining[i]);
-          ++prune_calls[i];
-        }
-      });
+  {
+    obs::Span merge_span(trace, "merge");
+    for (std::size_t stride = 1; stride < num_workers; stride *= 2) {
+      std::vector<std::thread> mergers;
+      for (std::size_t i = 0; i + stride < num_workers; i += 2 * stride) {
+        ++merge_calls;
+        mergers.emplace_back(
+            [&trees, &remaining, &frequencies, &options, i, stride]() {
+              // Replaying the smaller repository into the larger one is
+              // cheaper (the replay visits every stored set of the source);
+              // the result is identical either way. The remaining table
+              // travels with its tree: the mid-merge pruning bound is the
+              // occurrences outside the *target's* own pre-merge stream.
+              if (trees[i]->NodeCount() < trees[i + stride]->NodeCount()) {
+                std::swap(trees[i], trees[i + stride]);
+                std::swap(remaining[i], remaining[i + stride]);
+              }
+              if (options.item_elimination) {
+                trees[i]->Merge(*trees[i + stride], options.min_support,
+                                remaining[i], options.prune_node_threshold);
+              } else {
+                trees[i]->Merge(*trees[i + stride]);
+              }
+              trees[i + stride].reset();  // release the absorbed repository
+              for (std::size_t item = 0; item < frequencies.size(); ++item) {
+                remaining[i][item] = remaining[i][item] +
+                                     remaining[i + stride][item] -
+                                     frequencies[item];
+              }
+              if (options.item_elimination) {
+                trees[i]->Prune(options.min_support, remaining[i]);
+              }
+            });
+      }
+      for (auto& merger : mergers) merger.join();
     }
-    for (auto& merger : mergers) merger.join();
   }
 
   IstaPrefixTree& tree = *trees.front();
-  if (stats != nullptr) {
-    stats->peak_nodes = *std::max_element(peak_nodes.begin(), peak_nodes.end());
-    for (std::size_t calls : prune_calls) stats->prune_calls += calls;
-    stats->merge_calls = merge_calls;
-    stats->final_nodes = tree.NodeCount();
-  }
   FIM_DCHECK_OK(tree.ValidateInvariants());
-  tree.Report(options.min_support, MakeDecodingCallback(recoding, callback));
+  obs::Span report_span(trace, "report");
+  ReportWithStats(tree, recoding, options.min_support, callback, stats);
+  if (stats != nullptr) stats->merge_calls = merge_calls;
   return Status::OK();
 }
 

@@ -7,6 +7,8 @@
 #include "data/itemset.h"
 #include "data/recode.h"
 #include "data/transaction_database.h"
+#include "obs/miner_stats.h"
+#include "obs/trace.h"
 
 namespace fim {
 
@@ -48,22 +50,25 @@ struct IstaOptions {
   unsigned num_threads = 1;
 };
 
-/// Execution statistics (optional output of MineClosedIsta).
-struct IstaStats {
-  std::size_t peak_nodes = 0;   // max over workers and merge stages
-  std::size_t final_nodes = 0;
-  std::size_t prune_calls = 0;  // summed over workers
-  std::size_t weighted_transactions = 0;  // stream length after dedup
-  std::size_t merge_calls = 0;  // pairwise repository merges performed
-};
+// Execution statistics (optional output of MineClosedIsta): the unified
+// MinerStats snapshot (obs/miner_stats.h) under its historical name. The
+// populated fields are isect_steps, peak_nodes, final_nodes, prune_calls
+// (all including every worker and merge stage of a parallel run),
+// merge_calls, weighted_transactions, and sets_reported.
 
 /// Mines all closed frequent item sets of `db` with the IsTa algorithm
 /// and reports each exactly once through `callback` (items in ascending
 /// original ids). The empty set is never reported. Returns
 /// InvalidArgument for min_support == 0.
+///
+/// `stats` (optional) receives the execution statistics; `trace`
+/// (optional) receives the phase spans `recode`, `dedup`, `shard-mine`,
+/// `merge`, and `report`. Both are output-neutral: the mining result is
+/// bit-identical whether they are requested or not.
 Status MineClosedIsta(const TransactionDatabase& db, const IstaOptions& options,
                       const ClosedSetCallback& callback,
-                      IstaStats* stats = nullptr);
+                      IstaStats* stats = nullptr,
+                      obs::Trace* trace = nullptr);
 
 }  // namespace fim
 

@@ -27,6 +27,7 @@ uint32_t IstaPrefixTree::NewNode(ItemId item, uint32_t step, Support supp) {
   chunks_[index >> kChunkShift].push_back(
       Node{step, item, supp, 0, kNil, kNil});
   ++node_count_;
+  if (node_count_ > peak_node_count_) peak_node_count_ = node_count_;
   return index;
 }
 
@@ -86,6 +87,7 @@ void IstaPrefixTree::Isect(uint32_t node, uint32_t* ins, Support weight) {
     ins = isect_stack_.back().ins;
     isect_stack_.pop_back();
     while (node != kNil) {
+      ++isect_steps_;
       const ItemId i = At(node).item;
       if (in_transaction_[i]) {
         // The item is in the intersection: find/create the node that
@@ -196,6 +198,11 @@ void IstaPrefixTree::Merge(const IstaPrefixTree& other, Support min_support,
   uint32_t frozen = next_index_;
   total_weight_ += other.total_weight_;
   if (other.step_ > step_) step_ = other.step_;
+  // Absorb the other repository's observability history, so the final
+  // tree of a reduction reports totals over every worker and stage.
+  peak_node_count_ = std::max(peak_node_count_, other.peak_node_count_);
+  prune_count_ += other.prune_count_;
+  isect_steps_ += other.isect_steps_;
   std::size_t threshold = prune_node_threshold;
   // Pre-order DFS over the other repository, replaying every stored set.
   struct Frame {
@@ -234,6 +241,10 @@ void IstaPrefixTree::Merge(const IstaPrefixTree& other, Support min_support,
       std::vector<Support> fresh_aside(1, 0);  // index 0: pseudo-root
       PruneInto(At(kRoot).children, min_support, remaining, &fresh, kRoot,
                 &aside, &fresh_aside);
+      fresh.peak_node_count_ =
+          std::max(peak_node_count_, fresh.peak_node_count_);
+      fresh.prune_count_ = prune_count_ + 1;
+      fresh.isect_steps_ = isect_steps_ + fresh.isect_steps_;
       *this = std::move(fresh);
       aside = std::move(fresh_aside);
       frozen = next_index_;
@@ -302,6 +313,7 @@ void IstaPrefixTree::IsectMax(uint32_t node, uint32_t* ins, Support other_supp,
     ins = isect_stack_.back().ins;
     isect_stack_.pop_back();
     while (node != kNil) {
+      ++isect_steps_;
       if (node >= frozen) {  // created since the last freeze: not a source
         node = At(node).sibling;
         continue;
@@ -345,6 +357,10 @@ void IstaPrefixTree::Prune(Support min_support,
   fresh.step_ = step_;
   fresh.total_weight_ = total_weight_;
   PruneInto(At(kRoot).children, min_support, remaining, &fresh, kRoot);
+  // The rebuilt tree carries on this tree's observability history.
+  fresh.peak_node_count_ = std::max(peak_node_count_, fresh.peak_node_count_);
+  fresh.prune_count_ = prune_count_ + 1;
+  fresh.isect_steps_ = isect_steps_ + fresh.isect_steps_;
   *this = std::move(fresh);
   FIM_DCHECK_OK(ValidateInvariants());
 }

@@ -81,6 +81,24 @@ class IstaPrefixTree {
   /// Number of live nodes (excluding the pseudo-root).
   std::size_t NodeCount() const { return node_count_; }
 
+  /// High-water mark of NodeCount() over the tree's whole history,
+  /// including the transient growth during Merge replays (which an
+  /// external observer polling NodeCount() between operations misses).
+  /// Merge folds the absorbed repository's peak in, so the final tree of
+  /// a parallel reduction reports the true maximum over all workers and
+  /// merge stages.
+  std::size_t PeakNodeCount() const { return peak_node_count_; }
+
+  /// Number of Prune() rebuilds performed, including the threshold
+  /// prunes Merge runs internally mid-replay; Merge folds the absorbed
+  /// repository's count in.
+  std::size_t PruneCount() const { return prune_count_; }
+
+  /// Repository nodes visited by the intersection walks (Figure 2's
+  /// Isect and the max-plus replay of Merge) — the paper's measure of
+  /// intersection work. Merge folds the absorbed repository's count in.
+  std::uint64_t IsectSteps() const { return isect_steps_; }
+
   /// Number of transactions processed so far (weighted additions and
   /// replayed merge transactions each count as one step).
   std::size_t StepCount() const { return step_; }
@@ -197,6 +215,9 @@ class IstaPrefixTree {
   std::vector<std::vector<Node>> chunks_;
   uint32_t next_index_ = 0;
   std::size_t node_count_ = 0;
+  std::size_t peak_node_count_ = 0;
+  std::size_t prune_count_ = 0;
+  uint64_t isect_steps_ = 0;
   uint32_t step_ = 0;
   uint64_t total_weight_ = 0;            // sum of all transaction weights
   std::vector<uint8_t> in_transaction_;  // flag array `trans` of Figure 2

@@ -1,0 +1,114 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace fim::obs {
+
+namespace {
+
+void AppendSpanText(const SpanNode& node, int depth, std::string* out) {
+  char line[160];
+  std::snprintf(line, sizeof(line), "  %*s%-*s %9.3fs wall  %9.3fs cpu  x%zu\n",
+                2 * depth, "", 24 - 2 * depth, node.name.c_str(),
+                node.wall_seconds, node.cpu_seconds, node.count);
+  out->append(line);
+  for (const auto& child : node.children) {
+    AppendSpanText(*child, depth + 1, out);
+  }
+}
+
+void AppendSpanJson(const SpanNode& node, JsonWriter* writer) {
+  writer->BeginObject();
+  writer->Key("name");
+  writer->String(node.name);
+  writer->Key("wall_seconds");
+  writer->Number(node.wall_seconds);
+  writer->Key("cpu_seconds");
+  writer->Number(node.cpu_seconds);
+  writer->Key("count");
+  writer->Number(static_cast<std::uint64_t>(node.count));
+  writer->Key("children");
+  writer->BeginArray();
+  for (const auto& child : node.children) AppendSpanJson(*child, writer);
+  writer->EndArray();
+  writer->EndObject();
+}
+
+}  // namespace
+
+std::string RenderStatsText(const StatsReport& report) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "%s stats: algorithm %s, smin %u, threads %u, %zu sets\n",
+                report.tool.c_str(), report.algorithm.c_str(),
+                report.min_support, report.num_threads, report.num_sets);
+  out.append(line);
+  std::snprintf(line, sizeof(line),
+                "  wall %.3fs, cpu %.3fs, peak rss %.1f MiB\n",
+                report.wall_seconds, report.cpu_seconds,
+                static_cast<double>(report.peak_rss_bytes) / (1024.0 * 1024.0));
+  out.append(line);
+  out.append("  counters:\n");
+  for (const auto& [name, value] : report.miner.Counters()) {
+    if (value == 0) continue;  // the text view shows what happened
+    std::snprintf(line, sizeof(line), "    %-24s %12llu\n", name,
+                  static_cast<unsigned long long>(value));
+    out.append(line);
+  }
+  if (report.trace != nullptr && !report.trace->root().children.empty()) {
+    out.append("  spans:\n");
+    for (const auto& child : report.trace->root().children) {
+      AppendSpanText(*child, 0, &out);
+    }
+  }
+  return out;
+}
+
+std::string RenderStatsJson(const StatsReport& report) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("schema");
+  writer.String("fim-stats-v1");
+  writer.Key("tool");
+  writer.String(report.tool);
+  writer.Key("algorithm");
+  writer.String(report.algorithm);
+  writer.Key("min_support");
+  writer.Number(static_cast<std::uint64_t>(report.min_support));
+  writer.Key("threads");
+  writer.Number(static_cast<std::uint64_t>(report.num_threads));
+  writer.Key("num_sets");
+  writer.Number(static_cast<std::uint64_t>(report.num_sets));
+  writer.Key("wall_seconds");
+  writer.Number(report.wall_seconds);
+  writer.Key("cpu_seconds");
+  writer.Number(report.cpu_seconds);
+  writer.Key("peak_rss_bytes");
+  writer.Number(static_cast<std::uint64_t>(report.peak_rss_bytes));
+  writer.Key("counters");
+  writer.BeginObject();
+  // The full catalog, zeros included: consumers can rely on every key
+  // being present in every report.
+  for (const auto& [name, value] : report.miner.Counters()) {
+    writer.Key(name);
+    writer.Number(value);
+  }
+  writer.EndObject();
+  if (report.trace != nullptr) {
+    writer.Key("spans");
+    writer.BeginArray();
+    for (const auto& child : report.trace->root().children) {
+      AppendSpanJson(*child, &writer);
+    }
+    writer.EndArray();
+  }
+  writer.EndObject();
+  std::string out = std::move(writer).Take();
+  out.push_back('\n');
+  return out;
+}
+
+}  // namespace fim::obs

@@ -1,0 +1,48 @@
+#ifndef FIM_OBS_EXPORT_H_
+#define FIM_OBS_EXPORT_H_
+
+#include <cstddef>
+#include <string>
+
+#include "data/itemset.h"
+#include "obs/miner_stats.h"
+#include "obs/trace.h"
+
+namespace fim::obs {
+
+/// Everything one instrumented mining run gathers, assembled for export.
+/// `trace` may be nullptr (no spans section is emitted then).
+struct StatsReport {
+  std::string tool;       // "fim-mine", "fim-verify", ...
+  std::string algorithm;  // AlgorithmName(...) or a free-form label
+  Support min_support = 0;
+  unsigned num_threads = 1;
+  std::size_t num_sets = 0;
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;          // driving thread's CPU time
+  std::size_t peak_rss_bytes = 0;    // 0 when the platform hides it
+  MinerStats miner;
+  const Trace* trace = nullptr;
+};
+
+/// Human-readable rendering (aligned counter table + indented span
+/// tree), for `--stats` / `--stats=text` on stderr.
+std::string RenderStatsText(const StatsReport& report);
+
+/// Machine-readable rendering. Schema (see docs/OBSERVABILITY.md):
+///
+///   {
+///     "schema": "fim-stats-v1",
+///     "tool": "...", "algorithm": "...",
+///     "min_support": N, "threads": N, "num_sets": N,
+///     "wall_seconds": F, "cpu_seconds": F, "peak_rss_bytes": N,
+///     "counters": { "<name>": N, ... },           // full catalog
+///     "spans": [ { "name": "...", "wall_seconds": F,
+///                  "cpu_seconds": F, "count": N,
+///                  "children": [ ... ] }, ... ]   // omitted w/o trace
+///   }
+std::string RenderStatsJson(const StatsReport& report);
+
+}  // namespace fim::obs
+
+#endif  // FIM_OBS_EXPORT_H_

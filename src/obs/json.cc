@@ -1,0 +1,335 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace fim::obs {
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  auto it = object_.find(std::string(key));
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+JsonValue JsonValue::MakeBool(bool value) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::MakeNumber(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::MakeString(std::string value) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::MakeArray(std::vector<JsonValue> values) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(values);
+  return v;
+}
+
+JsonValue JsonValue::MakeObject(std::map<std::string, JsonValue> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::move(members);
+  return v;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view with an explicit cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    auto value = ParseValue();
+    if (!value.ok()) return value;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after the JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("json parse error at byte " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      auto str = ParseString();
+      if (!str.ok()) return str.status();
+      return JsonValue::MakeString(std::move(str).value());
+    }
+    if (ConsumeLiteral("true")) return JsonValue::MakeBool(true);
+    if (ConsumeLiteral("false")) return JsonValue::MakeBool(false);
+    if (ConsumeLiteral("null")) return JsonValue::MakeNull();
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseObject() {
+    Consume('{');
+    std::map<std::string, JsonValue> members;
+    SkipWhitespace();
+    if (Consume('}')) return JsonValue::MakeObject(std::move(members));
+    for (;;) {
+      SkipWhitespace();
+      auto key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      auto value = ParseValue();
+      if (!value.ok()) return value;
+      members.insert_or_assign(std::move(key).value(),
+                               std::move(value).value());
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return JsonValue::MakeObject(std::move(members));
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    Consume('[');
+    std::vector<JsonValue> values;
+    SkipWhitespace();
+    if (Consume(']')) return JsonValue::MakeArray(std::move(values));
+    for (;;) {
+      auto value = ParseValue();
+      if (!value.ok()) return value;
+      values.push_back(std::move(value).value());
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return JsonValue::MakeArray(std::move(values));
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Error("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return Error("invalid \\u escape digit");
+          }
+          // UTF-8 encode the BMP code point (the reports only escape
+          // control characters, so surrogate pairs are not needed).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a JSON value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(value)) {
+      return Error("malformed number '" + token + "'");
+    }
+    return JsonValue::MakeNumber(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+void JsonWriter::AppendEscaped(std::string* out, std::string_view value) {
+  out->push_back('"');
+  for (const char c : value) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\b': out->append("\\b"); break;
+      case '\f': out->append("\\f"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buffer);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void JsonWriter::BeforeValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_.push_back(',');
+    needs_comma_.back() = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  needs_comma_.pop_back();
+  out_.push_back('}');
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  needs_comma_.pop_back();
+  out_.push_back(']');
+}
+
+void JsonWriter::Key(std::string_view key) {
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_.push_back(',');
+    needs_comma_.back() = true;
+  }
+  AppendEscaped(&out_, key);
+  out_.push_back(':');
+  after_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  AppendEscaped(&out_, value);
+}
+
+void JsonWriter::Number(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) value = 0.0;
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out_.append(buffer);
+}
+
+void JsonWriter::Number(std::uint64_t value) {
+  BeforeValue();
+  out_.append(std::to_string(value));
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_.append(value ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_.append("null");
+}
+
+}  // namespace fim::obs

@@ -1,0 +1,104 @@
+#ifndef FIM_OBS_JSON_H_
+#define FIM_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fim::obs {
+
+/// A parsed JSON value — just enough JSON for the stats/bench reports
+/// this library emits: objects, arrays, strings, numbers (as double),
+/// booleans, null. Object keys keep insertion order is NOT guaranteed
+/// (std::map, sorted); the reports never rely on member order.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+  const std::vector<JsonValue>& AsArray() const { return array_; }
+  const std::map<std::string, JsonValue>& AsObject() const { return object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  static JsonValue MakeNull() { return JsonValue(); }
+  static JsonValue MakeBool(bool value);
+  static JsonValue MakeNumber(double value);
+  static JsonValue MakeString(std::string value);
+  static JsonValue MakeArray(std::vector<JsonValue> values);
+  static JsonValue MakeObject(std::map<std::string, JsonValue> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, nothing
+/// else after the value). Returns InvalidArgument with a byte offset on
+/// malformed input.
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Incremental JSON writer producing compact, valid output. Usage:
+///
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("algorithm"); w.String("ista");
+///   w.Key("counters"); w.BeginObject(); ... w.EndObject();
+///   w.EndObject();
+///   std::string json = std::move(w).Take();
+///
+/// The writer inserts commas itself; misuse (e.g. a value without a key
+/// inside an object) produces invalid JSON rather than crashing — the
+/// round-trip tests guard the real emitters.
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(std::string_view key);
+  void String(std::string_view value);
+  void Number(double value);
+  void Number(std::uint64_t value);
+  void Bool(bool value);
+  void Null();
+
+  std::string Take() && { return std::move(out_); }
+  const std::string& str() const { return out_; }
+
+  /// Appends a JSON string literal (quotes + escapes) of `value` to
+  /// `out`. Exposed for the hand-rolled emitters in bench_util.
+  static void AppendEscaped(std::string* out, std::string_view value);
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // One entry per open container: true once the first element was
+  // written (a comma is needed before the next one).
+  std::vector<bool> needs_comma_;
+  bool after_key_ = false;
+};
+
+}  // namespace fim::obs
+
+#endif  // FIM_OBS_JSON_H_

@@ -1,0 +1,56 @@
+#include "obs/metrics.h"
+
+namespace fim::obs {
+
+Counter& MetricRegistry::GetCounter(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Distribution& MetricRegistry::GetDistribution(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  auto it = distributions_.find(name);
+  if (it == distributions_.end()) {
+    it = distributions_
+             .emplace(std::string(name), std::make_unique<Distribution>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::map<std::string, std::uint64_t> MetricRegistry::CounterValues() const {
+  const std::scoped_lock lock(mutex_);
+  std::map<std::string, std::uint64_t> values;
+  for (const auto& [name, counter] : counters_) {
+    values.emplace(name, counter->Value());
+  }
+  return values;
+}
+
+std::map<std::string, Distribution::Snapshot>
+MetricRegistry::DistributionValues() const {
+  const std::scoped_lock lock(mutex_);
+  std::map<std::string, Distribution::Snapshot> values;
+  for (const auto& [name, distribution] : distributions_) {
+    values.emplace(name, distribution->Get());
+  }
+  return values;
+}
+
+void MetricRegistry::Reset() {
+  const std::scoped_lock lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, distribution] : distributions_) distribution->Reset();
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry& registry = *new MetricRegistry();
+  return registry;
+}
+
+}  // namespace fim::obs

@@ -1,0 +1,135 @@
+#ifndef FIM_OBS_METRICS_H_
+#define FIM_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace fim::obs {
+
+/// A named monotonic counter. Increments are relaxed atomics, so
+/// instrumented hot loops pay one uncontended atomic add and stay
+/// TSan-clean when several threads share a counter. Reads are racy by
+/// design (monitoring, not synchronization): a snapshot taken while
+/// writers run sees some recent value, never a torn one.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A value distribution: count, sum, min, max. Same relaxed-atomic
+/// contract as Counter; min/max use CAS loops, still lock-free and
+/// TSan-clean. Concurrent snapshots may be mutually inconsistent
+/// (e.g. a count without its sum yet) but each field is valid.
+class Distribution {
+ public:
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;  // 0 when count == 0
+    std::uint64_t max = 0;
+
+    double Mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+  };
+
+  void Record(std::uint64_t value) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    UpdateMin(value);
+    UpdateMax(value);
+  }
+
+  Snapshot Get() const {
+    Snapshot snapshot;
+    snapshot.count = count_.load(std::memory_order_relaxed);
+    snapshot.sum = sum_.load(std::memory_order_relaxed);
+    const std::uint64_t min = min_.load(std::memory_order_relaxed);
+    snapshot.min = snapshot.count == 0 ? 0 : min;
+    snapshot.max = max_.load(std::memory_order_relaxed);
+    return snapshot;
+  }
+
+  void Reset() {
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(kNoMin, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::uint64_t kNoMin = ~std::uint64_t{0};
+
+  void UpdateMin(std::uint64_t value) {
+    std::uint64_t current = min_.load(std::memory_order_relaxed);
+    while (value < current &&
+           !min_.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  void UpdateMax(std::uint64_t value) {
+    std::uint64_t current = max_.load(std::memory_order_relaxed);
+    while (value > current &&
+           !max_.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{kNoMin};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// A registry of named counters and distributions. Registration (the
+/// name lookup) takes a mutex, so instrumented code should hoist the
+/// returned reference out of its hot loop and increment through it;
+/// handed-out references stay valid for the registry's lifetime.
+/// Snapshot methods copy the values under the same mutex, which only
+/// serializes against registration — never against increments.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Finds or creates the counter / distribution with `name`.
+  Counter& GetCounter(std::string_view name);
+  Distribution& GetDistribution(std::string_view name);
+
+  /// Name -> value snapshots, sorted by name.
+  std::map<std::string, std::uint64_t> CounterValues() const;
+  std::map<std::string, Distribution::Snapshot> DistributionValues() const;
+
+  /// Resets every registered metric to zero (names stay registered).
+  void Reset();
+
+  /// Process-wide registry for cross-cutting metrics.
+  static MetricRegistry& Global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Distribution>, std::less<>>
+      distributions_;
+};
+
+}  // namespace fim::obs
+
+#endif  // FIM_OBS_METRICS_H_

@@ -85,6 +85,48 @@ TEST(BenchUtilTest, JsonOutput) {
             std::count(json.begin(), json.end(), '}'));
 }
 
+TEST(BenchUtilTest, JsonOutputCarriesObservabilityPayloadWhenPresent) {
+  std::vector<JsonPoint> points;
+  JsonPoint p;
+  p.algorithm = "ista-2t";
+  p.min_support = 3;
+  p.seconds = 0.75;
+  p.num_sets = 9;
+  p.ran = true;
+  p.cpu_seconds = 1.5;
+  p.stats.isect_steps = 123;
+  p.stats.sets_reported = 9;
+  p.has_stats = true;
+  points.push_back(p);
+  const std::string path = ::testing::TempDir() + "/sweep_stats.json";
+  WriteJson(path, "parallel_ista", 1.0, points);
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"peak_rss_bytes\": "), std::string::npos);
+  EXPECT_NE(json.find("\"cpu_seconds\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\": {\"isect_steps\": 123, "
+                      "\"sets_reported\": 9}"),
+            std::string::npos);
+  // Zero counters stay out of bench reports (they record what happened).
+  EXPECT_EQ(json.find("\"prune_calls\""), std::string::npos);
+}
+
+TEST(BenchUtilTest, SweepPointsCarryMinerCounters) {
+  const TransactionDatabase db = GenerateRandomDense(8, 6, 0.5, 11);
+  SweepOptions options;
+  options.algorithms = {Algorithm::kIsta};
+  options.supports = {2};
+  const SweepResult result = RunSweep(db, options);
+  const SweepPoint* p = result.Find(Algorithm::kIsta, 2);
+  ASSERT_NE(p, nullptr);
+  ASSERT_TRUE(p->ran);
+  EXPECT_EQ(p->stats.sets_reported, p->num_sets);
+  EXPECT_GT(p->stats.isect_steps, 0u);
+  EXPECT_GE(p->cpu_seconds, 0.0);
+}
+
 TEST(BenchUtilTest, JsonOutputFromSweep) {
   const TransactionDatabase db = GenerateRandomDense(6, 5, 0.5, 7);
   SweepOptions options;

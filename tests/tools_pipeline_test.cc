@@ -6,11 +6,14 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "api/miner.h"
 #include "data/fimi_io.h"
 #include "data/result_io.h"
+#include "obs/json.h"
+#include "obs/miner_stats.h"
 #include "verify/closedness.h"
 #include "verify/compare.h"
 
@@ -183,6 +186,65 @@ TEST(ToolsPipelineTest, QuantileDiscretizeProducesMineableData) {
       (static_cast<double>(db.value().NumTransactions()) *
        static_cast<double>(db.value().NumItems() / 2));
   EXPECT_NEAR(occupancy, 0.16, 0.03);
+}
+
+TEST(ToolsPipelineTest, StatsJsonValidatesAndLeavesOutputUntouched) {
+  const std::string data = TempPath("pipeline_stats.fimi");
+  const std::string plain_out = TempPath("pipeline_stats_plain.txt");
+  const std::string stats_out = TempPath("pipeline_stats_result.txt");
+  const std::string stats_json = TempPath("pipeline_stats.json");
+
+  ASSERT_EQ(RunCmd(std::string(FIM_GEN_BINARY) + " -p basket -c 0.02 -r 17 " +
+                   data + " 2>/dev/null"),
+            0);
+  ASSERT_EQ(RunCmd(std::string(FIM_MINE_BINARY) + " -q -s 5 -t 4 " + data +
+                   " " + plain_out),
+            0);
+  ASSERT_EQ(RunCmd(std::string(FIM_MINE_BINARY) + " -q -s 5 -t 4 " +
+                   "--stats=json --stats-out=" + stats_json + " " + data +
+                   " " + stats_out),
+            0);
+
+  // Output neutrality end to end: the result file is identical with and
+  // without --stats.
+  auto plain = ReadClosedSetsFile(plain_out);
+  auto with_stats = ReadClosedSetsFile(stats_out);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(with_stats.ok());
+  ASSERT_FALSE(plain.value().empty());
+  EXPECT_TRUE(SameResults(plain.value(), with_stats.value()));
+
+  // The report parses and carries the fim-stats-v1 schema with the full
+  // counter catalog and the span tree.
+  std::ifstream in(stats_json);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = obs::ParseJson(buffer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::JsonValue& report = parsed.value();
+  EXPECT_EQ(report.Find("schema")->AsString(), "fim-stats-v1");
+  EXPECT_EQ(report.Find("tool")->AsString(), "fim-mine");
+  EXPECT_EQ(report.Find("algorithm")->AsString(), "ista");
+  EXPECT_DOUBLE_EQ(report.Find("min_support")->AsNumber(), 5.0);
+  EXPECT_DOUBLE_EQ(report.Find("threads")->AsNumber(), 4.0);
+  EXPECT_EQ(static_cast<std::size_t>(report.Find("num_sets")->AsNumber()),
+            plain.value().size());
+  EXPECT_GT(report.Find("peak_rss_bytes")->AsNumber(), 0.0);
+  const obs::JsonValue* counters = report.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->AsObject().size(), MinerStats{}.Counters().size());
+  EXPECT_GT(counters->Find("isect_steps")->AsNumber(), 0.0);
+  EXPECT_EQ(static_cast<std::size_t>(
+                counters->Find("sets_reported")->AsNumber()),
+            plain.value().size());
+  const obs::JsonValue* spans = report.Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_TRUE(spans->is_array());
+  bool saw_mine = false;
+  for (const auto& span : spans->AsArray()) {
+    if (span.Find("name")->AsString() == "mine") saw_mine = true;
+  }
+  EXPECT_TRUE(saw_mine);
 }
 
 TEST(ToolsPipelineTest, BinaryFormatMinesIdentically) {

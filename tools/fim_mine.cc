@@ -3,7 +3,7 @@
 // programs.
 //
 //   fim-mine [-a algorithm] [-s minsupp | -S percent] [-t threads] [-m] [-q]
-//            input [output]
+//            [--stats[=text|json]] [--stats-out=PATH] input [output]
 //
 //   -a NAME   ista | carpenter-lists | carpenter-table | flat-cumulative |
 //             fpclose | lcm | charm | transposed | cobbler (default: ista)
@@ -13,11 +13,19 @@
 //             sequential run                      (default: 1)
 //   -m        report only maximal frequent item sets
 //   -q        quiet: no stats on stderr
+//   --stats[=text|json]
+//             emit an execution-statistics report (per-phase spans +
+//             per-miner counters, see docs/OBSERVABILITY.md) after
+//             mining; text (default) or JSON. Goes to stderr unless
+//             --stats-out is given, so the result output is unchanged.
+//   --stats-out=PATH
+//             write the stats report to PATH instead of stderr
 //   input     transaction file, FIMI text or FIMB binary (auto-detected)
 //   output    result file; "-" or absent: stdout
 //
 // Output lines: the items of a set separated by spaces, followed by the
-// absolute support in parentheses, e.g. "3 17 42 (57)".
+// absolute support in parentheses, e.g. "3 17 42 (57)". The mined output
+// is bit-identical with and without --stats.
 
 #include <cmath>
 #include <cstdio>
@@ -31,6 +39,8 @@
 #include "data/binary_io.h"
 #include "data/fimi_io.h"
 #include "data/stats.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "rules/derive.h"
 
 namespace {
@@ -38,8 +48,11 @@ namespace {
 void Usage() {
   std::fprintf(stderr,
                "usage: fim-mine [-a algorithm] [-s minsupp | -S percent] "
-               "[-t threads] [-m] [-q] input [output]\n");
+               "[-t threads] [-m] [-q] [--stats[=text|json]] "
+               "[--stats-out=PATH] input [output]\n");
 }
+
+enum class StatsFormat { kNone, kText, kJson };
 
 }  // namespace
 
@@ -52,6 +65,8 @@ int main(int argc, char** argv) {
   unsigned num_threads = 1;
   bool maximal_only = false;
   bool quiet = false;
+  StatsFormat stats_format = StatsFormat::kNone;
+  std::string stats_out;
   std::string input;
   std::string output = "-";
 
@@ -87,6 +102,13 @@ int main(int argc, char** argv) {
       maximal_only = true;
     } else if (std::strcmp(arg, "-q") == 0) {
       quiet = true;
+    } else if (std::strcmp(arg, "--stats") == 0 ||
+               std::strcmp(arg, "--stats=text") == 0) {
+      stats_format = StatsFormat::kText;
+    } else if (std::strcmp(arg, "--stats=json") == 0) {
+      stats_format = StatsFormat::kJson;
+    } else if (std::strncmp(arg, "--stats-out=", 12) == 0) {
+      stats_out = arg + 12;
     } else if (std::strcmp(arg, "-h") == 0 ||
                std::strcmp(arg, "--help") == 0) {
       Usage();
@@ -107,8 +129,22 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (stats_format == StatsFormat::kNone && !stats_out.empty()) {
+    stats_format = StatsFormat::kText;  // --stats-out alone implies --stats
+  }
+
   WallTimer total;
+  CpuTimer total_cpu;
+  obs::Trace trace_storage;
+  obs::Trace* trace =
+      stats_format != StatsFormat::kNone ? &trace_storage : nullptr;
+  MinerStats miner_stats;
+  MinerStats* stats =
+      stats_format != StatsFormat::kNone ? &miner_stats : nullptr;
+
+  obs::Span load_span(trace, "load");
   auto loaded = ReadDatabaseFile(input);
+  load_span.End();
   if (!loaded.ok()) {
     std::fprintf(stderr, "error reading %s: %s\n", input.c_str(),
                  loaded.status().ToString().c_str());
@@ -156,16 +192,17 @@ int main(int argc, char** argv) {
   };
 
   if (maximal_only) {
-    auto closed = MineClosedCollect(db, options);
+    auto closed = MineClosedCollect(db, options, stats, trace);
     if (!closed.ok()) {
       status = closed.status();
     } else {
+      obs::Span write_span(trace, "write");
       for (const auto& set : FilterMaximal(std::move(closed).value())) {
         print_set(set.items, set.support);
       }
     }
   } else {
-    status = MineClosed(db, options, print_set);
+    status = MineClosed(db, options, print_set, stats, trace);
   }
   if (!status.ok()) {
     std::fprintf(stderr, "mining failed: %s\n", status.ToString().c_str());
@@ -177,6 +214,34 @@ int main(int argc, char** argv) {
                  "fim-mine: %zu %s item sets in %.3fs (%.3fs total)\n", count,
                  maximal_only ? "maximal" : "closed", mining.Seconds(),
                  total.Seconds());
+  }
+
+  if (stats_format != StatsFormat::kNone) {
+    obs::StatsReport report;
+    report.tool = "fim-mine";
+    report.algorithm = AlgorithmName(algorithm);
+    report.min_support = min_support;
+    report.num_threads = num_threads;
+    report.num_sets = count;
+    report.wall_seconds = total.Seconds();
+    report.cpu_seconds = total_cpu.Seconds();
+    report.peak_rss_bytes = PeakRss();
+    report.miner = miner_stats;
+    report.trace = &trace_storage;
+    const std::string rendered = stats_format == StatsFormat::kJson
+                                     ? obs::RenderStatsJson(report)
+                                     : obs::RenderStatsText(report);
+    if (stats_out.empty()) {
+      std::fputs(rendered.c_str(), stderr);
+    } else {
+      std::ofstream stats_file(stats_out, std::ios::trunc);
+      if (!stats_file) {
+        std::fprintf(stderr, "error: cannot open %s for writing\n",
+                     stats_out.c_str());
+        return 1;
+      }
+      stats_file << rendered;
+    }
   }
   return 0;
 }

@@ -3,8 +3,12 @@
 // completeness against this library's reference miner. Intended for
 // validating external miner implementations (FIMI-contest style).
 //
-//   fim-verify [-s minsupp] data.fimi result.txt
+//   fim-verify [-s minsupp] [--stats[=text|json]] data.fimi result.txt
 //   fim-verify --self-check [-s minsupp] data.fimi
+//
+// --stats emits the reference miner's execution-statistics report (see
+// docs/OBSERVABILITY.md) on stderr after verification; the verdict and
+// exit code are unaffected.
 //
 // --self-check feeds the database through the library's core data
 // structures (IsTa prefix tree, Carpenter occurrence matrix and duplicate
@@ -23,11 +27,13 @@
 #include "api/miner.h"
 #include "carpenter/carpenter.h"
 #include "carpenter/repository.h"
+#include "common/timer.h"
 #include "data/binary_io.h"
 #include "data/fimi_io.h"
 #include "data/recode.h"
 #include "data/result_io.h"
 #include "ista/prefix_tree.h"
+#include "obs/export.h"
 #include "verify/closedness.h"
 #include "verify/compare.h"
 
@@ -35,7 +41,8 @@ namespace {
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: fim-verify [-s minsupp] data.fimi result\n"
+               "usage: fim-verify [-s minsupp] [--stats[=text|json]] "
+               "data.fimi result\n"
                "       fim-verify --self-check [-s minsupp] data.fimi\n");
 }
 
@@ -110,11 +117,18 @@ int main(int argc, char** argv) {
   std::string data_path;
   std::string result_path;
   bool self_check = false;
+  bool stats_text = false;
+  bool stats_json = false;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--self-check") == 0) {
       self_check = true;
+    } else if (std::strcmp(arg, "--stats") == 0 ||
+               std::strcmp(arg, "--stats=text") == 0) {
+      stats_text = true;
+    } else if (std::strcmp(arg, "--stats=json") == 0) {
+      stats_json = true;
     } else if (std::strcmp(arg, "-s") == 0) {
       if (i + 1 >= argc) {
         Usage();
@@ -168,11 +182,34 @@ int main(int argc, char** argv) {
   // Completeness: compare against the reference miner.
   MinerOptions options;
   options.min_support = min_support;
-  auto expected = MineClosedCollect(db.value(), options);
+  const bool want_stats = stats_text || stats_json;
+  WallTimer mine_wall;
+  CpuTimer mine_cpu;
+  MinerStats miner_stats;
+  obs::Trace trace;
+  auto expected = MineClosedCollect(db.value(), options,
+                                    want_stats ? &miner_stats : nullptr,
+                                    want_stats ? &trace : nullptr);
   if (!expected.ok()) {
     std::fprintf(stderr, "reference mining failed: %s\n",
                  expected.status().ToString().c_str());
     return 1;
+  }
+  if (want_stats) {
+    obs::StatsReport report;
+    report.tool = "fim-verify";
+    report.algorithm = AlgorithmName(options.algorithm);
+    report.min_support = min_support;
+    report.num_threads = options.num_threads;
+    report.num_sets = expected.value().size();
+    report.wall_seconds = mine_wall.Seconds();
+    report.cpu_seconds = mine_cpu.Seconds();
+    report.peak_rss_bytes = PeakRss();
+    report.miner = miner_stats;
+    report.trace = &trace;
+    const std::string rendered = stats_json ? obs::RenderStatsJson(report)
+                                            : obs::RenderStatsText(report);
+    std::fputs(rendered.c_str(), stderr);
   }
   if (!SameResults(expected.value(), claimed.value())) {
     std::fprintf(stderr, "COMPLETENESS FAILURE:\n%s",
