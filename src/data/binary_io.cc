@@ -13,16 +13,8 @@ namespace {
 constexpr char kMagic[4] = {'F', 'I', 'M', 'B'};
 constexpr uint32_t kVersion = 1;
 
-template <typename T>
-void Put(std::ofstream& out, T value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
-}
-
-template <typename T>
-bool Get(std::ifstream& in, T* value) {
-  in.read(reinterpret_cast<char*>(value), sizeof(*value));
-  return static_cast<bool>(in);
-}
+using io::ReadPod;
+using io::WritePod;
 
 }  // namespace
 
@@ -31,11 +23,11 @@ Status WriteBinaryFile(const TransactionDatabase& db,
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IoError("cannot open " + path + " for writing");
   out.write(kMagic, sizeof(kMagic));
-  Put(out, kVersion);
-  Put(out, static_cast<uint64_t>(db.NumItems()));
-  Put(out, static_cast<uint64_t>(db.NumTransactions()));
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<uint64_t>(db.NumItems()));
+  WritePod(out, static_cast<uint64_t>(db.NumTransactions()));
   for (const auto& t : db.transactions()) {
-    Put(out, static_cast<uint32_t>(t.size()));
+    WritePod(out, static_cast<uint32_t>(t.size()));
     out.write(reinterpret_cast<const char*>(t.data()),
               static_cast<std::streamsize>(t.size() * sizeof(ItemId)));
   }
@@ -55,10 +47,10 @@ Result<TransactionDatabase> ReadBinaryFile(const std::string& path) {
   uint32_t version = 0;
   uint64_t num_items = 0;
   uint64_t num_transactions = 0;
-  if (!Get(in, &version) || version != kVersion) {
+  if (!ReadPod(in, &version) || version != kVersion) {
     return Status::InvalidArgument("unsupported FIMB version");
   }
-  if (!Get(in, &num_items) || !Get(in, &num_transactions)) {
+  if (!ReadPod(in, &num_items) || !ReadPod(in, &num_transactions)) {
     return Status::InvalidArgument("truncated FIMB header");
   }
 
@@ -66,7 +58,7 @@ Result<TransactionDatabase> ReadBinaryFile(const std::string& path) {
   std::vector<ItemId> items;
   for (uint64_t k = 0; k < num_transactions; ++k) {
     uint32_t length = 0;
-    if (!Get(in, &length)) {
+    if (!ReadPod(in, &length)) {
       return Status::InvalidArgument("truncated FIMB transaction header");
     }
     items.resize(length);

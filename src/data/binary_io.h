@@ -1,10 +1,37 @@
 #ifndef FIM_DATA_BINARY_IO_H_
 #define FIM_DATA_BINARY_IO_H_
 
+#include <istream>
+#include <ostream>
 #include <string>
+#include <type_traits>
 
 #include "common/status.h"
 #include "data/transaction_database.h"
+
+namespace fim::io {
+
+/// Raw little-endian scalar I/O shared by the binary formats (FIMB
+/// databases, fim-tree-v1 repository blobs, fim-stream-v1 checkpoints).
+/// The library only targets little-endian platforms, so the in-memory
+/// representation is the wire representation.
+template <typename T>
+void WritePod(std::ostream& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value),
+            static_cast<std::streamsize>(sizeof(value)));
+}
+
+/// Reads one scalar; returns false on a short read (truncated input).
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  in.read(reinterpret_cast<char*>(value),
+          static_cast<std::streamsize>(sizeof(*value)));
+  return static_cast<bool>(in);
+}
+
+}  // namespace fim::io
 
 namespace fim {
 

@@ -1,16 +1,24 @@
 #include "ista/incremental.h"
 
-#include <algorithm>
-
-#include "ista/prefix_tree.h"
+#include "stream/stream_miner.h"
 
 namespace fim {
 
+// One code path for online mining: the historical incremental miner is a
+// thin wrapper over StreamMiner's landmark mode (src/stream/). Semantics
+// are unchanged — every query reports the closed sets over everything
+// seen so far — but queries are now safe against concurrent ingest and
+// duplicate bursts collapse into weighted Figure-2 additions.
 struct IncrementalClosedSetMiner::Impl {
-  explicit Impl(std::size_t num_items) : tree(num_items), max_items(num_items) {}
+  explicit Impl(std::size_t num_items) : miner(MakeOptions(num_items)) {}
 
-  IstaPrefixTree tree;
-  std::size_t max_items;
+  static StreamMinerOptions MakeOptions(std::size_t num_items) {
+    StreamMinerOptions options;
+    options.max_items = num_items;
+    return options;  // pane_size == window_panes == 0: landmark mode
+  }
+
+  StreamMiner miner;
 };
 
 IncrementalClosedSetMiner::IncrementalClosedSetMiner(std::size_t max_items)
@@ -19,42 +27,25 @@ IncrementalClosedSetMiner::IncrementalClosedSetMiner(std::size_t max_items)
 IncrementalClosedSetMiner::~IncrementalClosedSetMiner() { delete impl_; }
 
 Status IncrementalClosedSetMiner::AddTransaction(std::vector<ItemId> items) {
-  NormalizeItems(&items);
-  if (items.empty()) {
-    return Status::InvalidArgument("empty transaction");
-  }
-  if (items.back() >= impl_->max_items) {
-    return Status::OutOfRange("item id " + std::to_string(items.back()) +
-                              " exceeds the miner's item capacity");
-  }
-  impl_->tree.AddTransaction(items);
-  return Status::OK();
+  return impl_->miner.AddTransaction(std::move(items));
 }
 
 std::size_t IncrementalClosedSetMiner::NumTransactions() const {
-  return impl_->tree.StepCount();
+  return static_cast<std::size_t>(impl_->miner.NumTransactions());
 }
 
 Status IncrementalClosedSetMiner::Query(
     Support min_support, const ClosedSetCallback& callback) const {
-  if (min_support == 0) {
-    return Status::InvalidArgument("min_support must be >= 1");
-  }
-  impl_->tree.Report(min_support, callback);
-  return Status::OK();
+  return impl_->miner.Query(min_support, callback);
 }
 
 Result<std::vector<ClosedItemset>> IncrementalClosedSetMiner::QueryCollect(
     Support min_support) const {
-  ClosedSetCollector collector;
-  Status status = Query(min_support, collector.AsCallback());
-  if (!status.ok()) return status;
-  collector.SortCanonical();
-  return collector.TakeSets();
+  return impl_->miner.QueryCollect(min_support);
 }
 
 std::size_t IncrementalClosedSetMiner::NodeCount() const {
-  return impl_->tree.NodeCount();
+  return impl_->miner.NodeCount();
 }
 
 }  // namespace fim

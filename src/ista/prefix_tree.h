@@ -2,6 +2,7 @@
 #define FIM_ISTA_PREFIX_TREE_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -81,6 +82,9 @@ class IstaPrefixTree {
   /// Number of live nodes (excluding the pseudo-root).
   std::size_t NodeCount() const { return node_count_; }
 
+  /// Size of the item universe this repository was created over.
+  std::size_t NumItems() const { return in_transaction_.size(); }
+
   /// High-water mark of NodeCount() over the tree's whole history,
   /// including the transient growth during Merge replays (which an
   /// external observer polling NodeCount() between operations misses).
@@ -126,6 +130,28 @@ class IstaPrefixTree {
   /// O(nodes). Debug builds run this automatically at mutation points via
   /// FIM_DCHECK; tests and fim-verify call it on demand.
   Status ValidateInvariants() const;
+
+  /// Serializes the repository into `out` in the versioned binary format
+  /// `fim-tree-v1` (implemented in tree_io.cc):
+  ///   char[4] "FIMT", u32 version (1),
+  ///   u64 num_items, u32 next_index, u32 step, u64 total_weight,
+  ///   u64 node_count, u64 peak_node_count, u64 prune_count,
+  ///   u64 isect_steps,
+  ///   then `next_index` nodes of
+  ///   (u32 step, u32 item, u32 supp, u32 trans, u32 sibling, u32 children)
+  /// in allocation order (node 0 is the pseudo-root). The dump captures
+  /// the exact node layout, so a deserialized tree behaves bit-identically
+  /// to the original under further AddTransaction/Merge/Prune/Report
+  /// calls. Must be called on a quiescent tree (never from inside a
+  /// mutation), which is the only state observable through the public API.
+  Status SerializeTo(std::ostream& out) const;
+
+  /// Reads one fim-tree-v1 blob from `in` (leaving the stream positioned
+  /// after it) and reconstructs the repository. Corrupted or truncated
+  /// input yields a clean InvalidArgument — the blob is fully range- and
+  /// invariant-checked (ValidateInvariants) before the tree is returned,
+  /// so no malformed structure can escape.
+  static Result<IstaPrefixTree> Deserialize(std::istream& in);
 
  private:
   friend struct IstaPrefixTreeTestPeer;  // corruption hooks for check_test

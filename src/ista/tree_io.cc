@@ -1,0 +1,142 @@
+// Serialization of the IsTa prefix-tree repository — the `fim-tree-v1`
+// binary format (layout documented at SerializeTo in prefix_tree.h).
+//
+// The format is a raw dump of the node storage plus the scalar state, so
+// a round trip reproduces the tree bit for bit: node indices, sibling
+// order, step stamps and counters all survive, and every later operation
+// (AddTransaction, Merge with its frozen-index logic, Prune, Report)
+// behaves exactly as it would have on the original. This is what lets a
+// StreamMiner checkpoint resume a stream with output identical to an
+// uninterrupted run.
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "common/check.h"
+#include "data/binary_io.h"
+#include "ista/prefix_tree.h"
+
+namespace fim {
+
+namespace {
+
+constexpr char kTreeMagic[4] = {'F', 'I', 'M', 'T'};
+constexpr uint32_t kTreeVersion = 1;
+
+/// Upper bound on a plausible item universe: ItemId is 32-bit, and a
+/// corrupt header must not drive a multi-gigabyte allocation before the
+/// blob is validated.
+constexpr uint64_t kMaxSerializedItems = uint64_t{1} << 31;
+
+using io::ReadPod;
+using io::WritePod;
+
+Status Corrupt(const std::string& what) {
+  return Status::InvalidArgument("fim-tree-v1 blob: " + what);
+}
+
+}  // namespace
+
+Status IstaPrefixTree::SerializeTo(std::ostream& out) const {
+  FIM_DCHECK_OK(ValidateInvariants());
+  out.write(kTreeMagic, sizeof(kTreeMagic));
+  WritePod(out, kTreeVersion);
+  WritePod(out, static_cast<uint64_t>(in_transaction_.size()));
+  WritePod(out, next_index_);
+  WritePod(out, step_);
+  WritePod(out, total_weight_);
+  WritePod(out, static_cast<uint64_t>(node_count_));
+  WritePod(out, static_cast<uint64_t>(peak_node_count_));
+  WritePod(out, static_cast<uint64_t>(prune_count_));
+  WritePod(out, isect_steps_);
+  for (uint32_t n = 0; n < next_index_; ++n) {
+    const Node& node = At(n);
+    WritePod(out, node.step);
+    WritePod(out, node.item);
+    WritePod(out, node.supp);
+    WritePod(out, node.trans);
+    WritePod(out, node.sibling);
+    WritePod(out, node.children);
+  }
+  if (!out) return Status::IoError("write failure while serializing tree");
+  return Status::OK();
+}
+
+Result<IstaPrefixTree> IstaPrefixTree::Deserialize(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kTreeMagic, sizeof(kTreeMagic)) != 0) {
+    return Corrupt("bad magic (not a serialized prefix tree)");
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version)) return Corrupt("truncated header");
+  if (version != kTreeVersion) {
+    return Corrupt("unsupported version " + std::to_string(version));
+  }
+  uint64_t num_items = 0;
+  uint32_t next_index = 0;
+  uint32_t step = 0;
+  uint64_t total_weight = 0;
+  uint64_t node_count = 0;
+  uint64_t peak_node_count = 0;
+  uint64_t prune_count = 0;
+  uint64_t isect_steps = 0;
+  if (!ReadPod(in, &num_items) || !ReadPod(in, &next_index) ||
+      !ReadPod(in, &step) || !ReadPod(in, &total_weight) ||
+      !ReadPod(in, &node_count) || !ReadPod(in, &peak_node_count) ||
+      !ReadPod(in, &prune_count) || !ReadPod(in, &isect_steps)) {
+    return Corrupt("truncated header");
+  }
+  if (num_items > kMaxSerializedItems) {
+    return Corrupt("implausible item universe size " +
+                   std::to_string(num_items));
+  }
+  if (next_index == 0) return Corrupt("missing pseudo-root");
+  // A quiescent validated tree never carries unreachable nodes, so the
+  // stored node count must account for every allocation except the root.
+  if (node_count + 1 != next_index) {
+    return Corrupt("node count " + std::to_string(node_count) +
+                   " inconsistent with " + std::to_string(next_index) +
+                   " allocated nodes");
+  }
+
+  IstaPrefixTree tree(static_cast<std::size_t>(num_items));
+  tree.chunks_.clear();
+  tree.next_index_ = 0;
+  // Nodes are read one at a time with a short-read check each, so a
+  // truncated blob fails cleanly before any header-sized allocation.
+  for (uint32_t n = 0; n < next_index; ++n) {
+    Node node;
+    if (!ReadPod(in, &node.step) || !ReadPod(in, &node.item) ||
+        !ReadPod(in, &node.supp) || !ReadPod(in, &node.trans) ||
+        !ReadPod(in, &node.sibling) || !ReadPod(in, &node.children)) {
+      return Corrupt("truncated at node " + std::to_string(n) + " of " +
+                     std::to_string(next_index));
+    }
+    if ((tree.next_index_ & (kChunkSize - 1)) == 0 &&
+        (tree.next_index_ >> kChunkShift) == tree.chunks_.size()) {
+      tree.chunks_.emplace_back();
+      tree.chunks_.back().reserve(kChunkSize);
+    }
+    tree.chunks_[tree.next_index_ >> kChunkShift].push_back(node);
+    ++tree.next_index_;
+  }
+  tree.node_count_ = static_cast<std::size_t>(node_count);
+  tree.step_ = step;
+  tree.total_weight_ = total_weight;
+  tree.peak_node_count_ = std::max<std::size_t>(
+      static_cast<std::size_t>(peak_node_count), tree.node_count_);
+  tree.prune_count_ = static_cast<std::size_t>(prune_count);
+  tree.isect_steps_ = isect_steps;
+  // Full structural validation before the tree escapes: link targets,
+  // sibling/child ordering, support monotonicity, reachability — any
+  // bit-flip that breaks an invariant is rejected here with a clean
+  // status instead of corrupting a later mining step.
+  Status valid = tree.ValidateInvariants();
+  if (!valid.ok()) return Corrupt(valid.message());
+  return tree;
+}
+
+}  // namespace fim

@@ -58,6 +58,14 @@ std::string RenderStatsText(const StatsReport& report) {
                   static_cast<unsigned long long>(value));
     out.append(line);
   }
+  if (report.registry != nullptr) {
+    for (const auto& [name, value] : report.registry->CounterValues()) {
+      if (value == 0) continue;
+      std::snprintf(line, sizeof(line), "    %-32s %12llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      out.append(line);
+    }
+  }
   if (report.trace != nullptr && !report.trace->root().children.empty()) {
     out.append("  spans:\n");
     for (const auto& child : report.trace->root().children) {
@@ -95,6 +103,15 @@ std::string RenderStatsJson(const StatsReport& report) {
   for (const auto& [name, value] : report.miner.Counters()) {
     writer.Key(name);
     writer.Number(value);
+  }
+  // Registry counters (e.g. stream.*) follow the fixed catalog; their
+  // names never collide with MinerStats counter names by convention
+  // (registry counters are dot-qualified).
+  if (report.registry != nullptr) {
+    for (const auto& [name, value] : report.registry->CounterValues()) {
+      writer.Key(name);
+      writer.Number(value);
+    }
   }
   writer.EndObject();
   if (report.trace != nullptr) {

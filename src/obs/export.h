@@ -5,6 +5,7 @@
 #include <string>
 
 #include "data/itemset.h"
+#include "obs/metrics.h"
 #include "obs/miner_stats.h"
 #include "obs/trace.h"
 
@@ -23,6 +24,12 @@ struct StatsReport {
   std::size_t peak_rss_bytes = 0;    // 0 when the platform hides it
   MinerStats miner;
   const Trace* trace = nullptr;
+
+  /// Optional: a metric registry whose counters are appended to the
+  /// counters section (after the MinerStats catalog, names as
+  /// registered — e.g. the `stream.*` counters of a StreamMiner). May
+  /// be nullptr.
+  const MetricRegistry* registry = nullptr;
 };
 
 /// Human-readable rendering (aligned counter table + indented span

@@ -1,0 +1,308 @@
+// Tests of prefix-tree serialization (fim-tree-v1) and StreamMiner
+// checkpoint/restore (fim-stream-v1): a restored miner must continue
+// the stream with output bit-identical to the uninterrupted one, and
+// corrupted or truncated input must be rejected with a clean Status.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/generators.h"
+#include "ista/prefix_tree.h"
+#include "obs/metrics.h"
+#include "stream/stream_miner.h"
+
+namespace fim {
+namespace {
+
+std::vector<ClosedItemset> ReportAll(const IstaPrefixTree& tree,
+                                     Support min_support) {
+  ClosedSetCollector collector;
+  tree.Report(min_support, collector.AsCallback());
+  collector.SortCanonical();
+  return collector.TakeSets();
+}
+
+TEST(TreeIoTest, RoundTripContinuesIdentically) {
+  const TransactionDatabase db = GenerateRandomDense(40, 14, 0.35, 11);
+  IstaPrefixTree original(db.NumItems());
+  for (std::size_t k = 0; k < 25; ++k) {
+    original.AddTransaction(db.transaction(k), 1 + k % 3);
+  }
+  std::stringstream blob(std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(original.SerializeTo(blob).ok());
+  auto restored = IstaPrefixTree::Deserialize(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  IstaPrefixTree copy = std::move(restored).value();
+  EXPECT_TRUE(copy.ValidateInvariants().ok());
+  EXPECT_EQ(copy.NodeCount(), original.NodeCount());
+  EXPECT_EQ(copy.StepCount(), original.StepCount());
+  EXPECT_EQ(copy.TotalWeight(), original.TotalWeight());
+  EXPECT_EQ(copy.IsectSteps(), original.IsectSteps());
+  EXPECT_EQ(ReportAll(copy, 1), ReportAll(original, 1));
+  // The dump captures the exact node layout, so further mutations
+  // behave bit-identically on both trees.
+  for (std::size_t k = 25; k < db.NumTransactions(); ++k) {
+    original.AddTransaction(db.transaction(k));
+    copy.AddTransaction(db.transaction(k));
+    EXPECT_EQ(copy.NodeCount(), original.NodeCount());
+    EXPECT_EQ(ReportAll(copy, 2), ReportAll(original, 2));
+  }
+}
+
+TEST(TreeIoTest, RejectsCorruptBlobs) {
+  IstaPrefixTree tree(6);
+  tree.AddTransaction(std::vector<ItemId>{0, 2, 4});
+  tree.AddTransaction(std::vector<ItemId>{0, 2, 5});
+  std::ostringstream out(std::ios::binary);
+  ASSERT_TRUE(tree.SerializeTo(out).ok());
+  const std::string good = out.str();
+
+  {  // bad magic
+    std::string bad = good;
+    bad[0] = 'X';
+    std::istringstream in(bad, std::ios::binary);
+    EXPECT_FALSE(IstaPrefixTree::Deserialize(in).ok());
+  }
+  {  // unsupported version
+    std::string bad = good;
+    bad[4] = 9;
+    std::istringstream in(bad, std::ios::binary);
+    EXPECT_FALSE(IstaPrefixTree::Deserialize(in).ok());
+  }
+  // Truncation at every prefix length must fail cleanly, never crash.
+  for (std::size_t len = 0; len < good.size(); len += 3) {
+    std::istringstream in(good.substr(0, len), std::ios::binary);
+    EXPECT_FALSE(IstaPrefixTree::Deserialize(in).ok()) << "length " << len;
+  }
+  {  // corrupt a node link deep in the blob: the invariant check catches
+     // what the header checks cannot
+    std::string bad = good;
+    for (std::size_t at = bad.size() - 8; at < bad.size(); ++at) {
+      bad[at] = static_cast<char>(0x7f);
+    }
+    std::istringstream in(bad, std::ios::binary);
+    auto result = IstaPrefixTree::Deserialize(in);
+    EXPECT_FALSE(result.ok());
+  }
+}
+
+void IngestSlice(StreamMiner* miner, const TransactionDatabase& db,
+                 std::size_t begin, std::size_t end) {
+  for (std::size_t k = begin; k < end; ++k) {
+    ASSERT_TRUE(miner->AddTransaction(db.transaction(k)).ok());
+  }
+}
+
+void ExpectResumeBitIdentical(const StreamMinerOptions& options,
+                              unsigned num_threads) {
+  const TransactionDatabase db = GenerateRandomDense(120, 16, 0.3, 42);
+  StreamMiner uninterrupted(options);
+  StreamMiner first_half(options);
+  const std::size_t cut = 70;  // deliberately mid-pane for windowed runs
+  if (num_threads == 1) {
+    IngestSlice(&uninterrupted, db, 0, cut);
+    IngestSlice(&first_half, db, 0, cut);
+  } else {
+    // Each miner ingests its prefix with `num_threads` concurrent
+    // writers over disjoint slices. The two miners see different
+    // interleavings — checkpointing must still hand over an exact
+    // snapshot of whatever multiset was ingested.
+    for (StreamMiner* miner : {&uninterrupted, &first_half}) {
+      std::vector<std::thread> writers;
+      const std::size_t chunk = cut / num_threads;
+      for (unsigned t = 0; t < num_threads; ++t) {
+        const std::size_t begin = t * chunk;
+        const std::size_t end = t + 1 == num_threads ? cut : begin + chunk;
+        writers.emplace_back(IngestSlice, miner, std::cref(db), begin, end);
+      }
+      for (auto& w : writers) w.join();
+    }
+  }
+
+  std::stringstream checkpoint(std::ios::in | std::ios::out |
+                               std::ios::binary);
+  ASSERT_TRUE(first_half.CheckpointTo(checkpoint).ok());
+  auto restored = StreamMiner::RestoreFrom(checkpoint);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  StreamMiner& resumed = *restored.value();
+  EXPECT_EQ(resumed.NumTransactions(), first_half.NumTransactions());
+  EXPECT_EQ(resumed.CurrentPaneIndex(), first_half.CurrentPaneIndex());
+
+  // With a single writer the ingest order was deterministic, so the
+  // restored snapshot must equal the uninterrupted miner's too; with
+  // several writers, compare against the miner that was checkpointed.
+  auto before_resumed = resumed.QueryCollect(2);
+  auto before_source = first_half.QueryCollect(2);
+  ASSERT_TRUE(before_resumed.ok());
+  ASSERT_TRUE(before_source.ok());
+  EXPECT_EQ(before_resumed.value(), before_source.value());
+
+  // Continue both streams sequentially: every subsequent snapshot of
+  // the resumed miner must be exactly the uninterrupted miner's.
+  if (num_threads == 1) {
+    for (std::size_t k = cut; k < db.NumTransactions(); ++k) {
+      ASSERT_TRUE(uninterrupted.AddTransaction(db.transaction(k)).ok());
+      ASSERT_TRUE(resumed.AddTransaction(db.transaction(k)).ok());
+      auto a = uninterrupted.QueryCollect(2);
+      auto b = resumed.QueryCollect(2);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_EQ(a.value(), b.value()) << "after tx " << (k + 1);
+    }
+    EXPECT_EQ(uninterrupted.NodeCount(), resumed.NodeCount());
+  } else {
+    IngestSlice(&first_half, db, cut, db.NumTransactions());
+    IngestSlice(&resumed, db, cut, db.NumTransactions());
+    auto a = first_half.QueryCollect(2);
+    auto b = resumed.QueryCollect(2);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value(), b.value());
+  }
+}
+
+TEST(StreamCheckpointTest, LandmarkResumeBitIdentical) {
+  StreamMinerOptions options;
+  options.max_items = 16;
+  ExpectResumeBitIdentical(options, /*num_threads=*/1);
+}
+
+TEST(StreamCheckpointTest, WindowedResumeBitIdentical) {
+  StreamMinerOptions options;
+  options.max_items = 16;
+  options.pane_size = 8;
+  options.window_panes = 4;
+  ExpectResumeBitIdentical(options, /*num_threads=*/1);
+}
+
+TEST(StreamCheckpointTest, LandmarkResumeBitIdenticalFourThreads) {
+  StreamMinerOptions options;
+  options.max_items = 16;
+  ExpectResumeBitIdentical(options, /*num_threads=*/4);
+}
+
+TEST(StreamCheckpointTest, WindowedResumeBitIdenticalFourThreads) {
+  StreamMinerOptions options;
+  options.max_items = 16;
+  options.pane_size = 8;
+  options.window_panes = 4;
+  ExpectResumeBitIdentical(options, /*num_threads=*/4);
+}
+
+TEST(StreamCheckpointTest, PendingDuplicateRunSurvivesCheckpoint) {
+  StreamMinerOptions options;
+  options.max_items = 8;
+  StreamMiner miner(options);
+  for (int r = 0; r < 3; ++r) {
+    ASSERT_TRUE(miner.AddTransaction({1, 2, 3}).ok());
+  }
+  std::stringstream checkpoint(std::ios::in | std::ios::out |
+                               std::ios::binary);
+  ASSERT_TRUE(miner.CheckpointTo(checkpoint).ok());
+  auto restored = StreamMiner::RestoreFrom(checkpoint);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  // The run keeps extending after the restore: still one weighted add.
+  ASSERT_TRUE(restored.value()->AddTransaction({1, 2, 3}).ok());
+  auto sets = restored.value()->QueryCollect(1);
+  ASSERT_TRUE(sets.ok());
+  ASSERT_EQ(sets.value().size(), 1u);
+  EXPECT_EQ(sets.value()[0].support, 4u);
+  EXPECT_EQ(restored.value()->Stats().weighted_additions, 1u);
+}
+
+TEST(StreamCheckpointTest, CheckpointDuringConcurrentIngest) {
+  const TransactionDatabase db = GenerateRandomDense(400, 12, 0.3, 8);
+  StreamMinerOptions options;
+  options.max_items = 12;
+  options.pane_size = 16;
+  options.window_panes = 4;
+  StreamMiner miner(options);
+  std::thread writer(IngestSlice, &miner, std::cref(db), std::size_t{0},
+                     db.NumTransactions());
+  for (int round = 0; round < 5; ++round) {
+    std::stringstream checkpoint(std::ios::in | std::ios::out |
+                                 std::ios::binary);
+    ASSERT_TRUE(miner.CheckpointTo(checkpoint).ok());
+    auto restored = StreamMiner::RestoreFrom(checkpoint);
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+    EXPECT_LE(restored.value()->NumTransactions(), db.NumTransactions());
+    EXPECT_TRUE(restored.value()->QueryCollect(2).ok());
+  }
+  writer.join();
+}
+
+TEST(StreamCheckpointTest, RestoredCountersMirrorIntoRegistry) {
+  StreamMinerOptions options;
+  options.max_items = 8;
+  StreamMiner miner(options);
+  ASSERT_TRUE(miner.AddTransaction({0, 1}).ok());
+  ASSERT_TRUE(miner.AddTransaction({1, 2}).ok());
+  ASSERT_TRUE(miner.QueryCollect(1).ok());
+  std::stringstream checkpoint(std::ios::in | std::ios::out |
+                               std::ios::binary);
+  ASSERT_TRUE(miner.CheckpointTo(checkpoint).ok());
+  obs::MetricRegistry registry;
+  auto restored = StreamMiner::RestoreFrom(checkpoint, &registry);
+  ASSERT_TRUE(restored.ok());
+  const auto exported = registry.CounterValues();
+  EXPECT_EQ(exported.at("stream.transactions_ingested"), 2u);
+  EXPECT_EQ(exported.at("stream.queries"), 1u);
+  EXPECT_GT(exported.at("stream.checkpoint_bytes_read"), 0u);
+}
+
+TEST(StreamCheckpointTest, RejectsCorruptCheckpoints) {
+  StreamMinerOptions options;
+  options.max_items = 10;
+  options.pane_size = 3;
+  options.window_panes = 2;
+  StreamMiner miner(options);
+  const TransactionDatabase db = GenerateRandomDense(10, 10, 0.4, 1);
+  for (std::size_t k = 0; k < db.NumTransactions(); ++k) {
+    ASSERT_TRUE(miner.AddTransaction(db.transaction(k)).ok());
+  }
+  std::ostringstream out(std::ios::binary);
+  ASSERT_TRUE(miner.CheckpointTo(out).ok());
+  const std::string good = out.str();
+  {  // sanity: the untouched blob restores
+    std::istringstream in(good, std::ios::binary);
+    ASSERT_TRUE(StreamMiner::RestoreFrom(in).ok());
+  }
+  {  // bad magic
+    std::string bad = good;
+    bad[0] = 'Z';
+    std::istringstream in(bad, std::ios::binary);
+    EXPECT_FALSE(StreamMiner::RestoreFrom(in).ok());
+  }
+  {  // unsupported version
+    std::string bad = good;
+    bad[4] = 2;
+    std::istringstream in(bad, std::ios::binary);
+    EXPECT_FALSE(StreamMiner::RestoreFrom(in).ok());
+  }
+  // Truncation at every stride: clean failure, no crash, no throw.
+  for (std::size_t len = 0; len < good.size(); len += 7) {
+    std::istringstream in(good.substr(0, len), std::ios::binary);
+    auto result = StreamMiner::RestoreFrom(in);
+    EXPECT_FALSE(result.ok()) << "length " << len;
+  }
+  {  // inconsistent pane bookkeeping: tamper the ingested count (header
+     // offset 33 = magic 4 + version 4 + max_items/pane_size/window 24 +
+     // merge flag 1)
+    std::string bad = good;
+    bad[33] = static_cast<char>(bad[33] + 1);
+    std::istringstream in(bad, std::ios::binary);
+    EXPECT_FALSE(StreamMiner::RestoreFrom(in).ok());
+  }
+  {  // missing end marker
+    std::string bad = good.substr(0, good.size() - 4);
+    std::istringstream in(bad, std::ios::binary);
+    EXPECT_FALSE(StreamMiner::RestoreFrom(in).ok());
+  }
+}
+
+}  // namespace
+}  // namespace fim

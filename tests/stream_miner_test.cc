@@ -1,0 +1,244 @@
+// Tests of the streaming subsystem (src/stream/): every snapshot —
+// landmark or windowed, interleaved or concurrent with ingest — must be
+// exactly the closed frequent sets of the covered transaction multiset.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "api/miner.h"
+#include "data/generators.h"
+#include "obs/metrics.h"
+#include "stream/stream_miner.h"
+#include "verify/compare.h"
+#include "verify/oracle.h"
+
+namespace fim {
+namespace {
+
+StreamMinerOptions Landmark(std::size_t max_items) {
+  StreamMinerOptions options;
+  options.max_items = max_items;
+  return options;
+}
+
+StreamMinerOptions Windowed(std::size_t max_items, std::size_t pane_size,
+                            std::size_t window_panes) {
+  StreamMinerOptions options;
+  options.max_items = max_items;
+  options.pane_size = pane_size;
+  options.window_panes = window_panes;
+  return options;
+}
+
+TEST(StreamMinerTest, LandmarkMatchesBatchAfterEveryPrefix) {
+  const TransactionDatabase db = GenerateRandomDense(12, 10, 0.4, 2026);
+  StreamMiner miner(Landmark(db.NumItems()));
+  TransactionDatabase prefix_db;
+  prefix_db.SetNumItems(db.NumItems());
+  std::uint64_t ingested = 0;
+  for (std::size_t k = 0; k < db.NumTransactions(); ++k) {
+    // Duplicate bursts exercise the pending-run merging: transaction k
+    // is ingested 1 + (k % 3) times in a row.
+    const std::size_t copies = 1 + k % 3;
+    for (std::size_t c = 0; c < copies; ++c) {
+      ASSERT_TRUE(miner.AddTransaction(db.transaction(k)).ok());
+      prefix_db.AddTransaction(db.transaction(k));
+      ++ingested;
+    }
+    EXPECT_EQ(miner.NumTransactions(), ingested);
+    for (Support smin : {1u, 2u, 4u}) {
+      auto streamed = miner.QueryCollect(smin);
+      ASSERT_TRUE(streamed.ok());
+      // Batch-mine the prefix (the prefixes outgrow the subset oracle).
+      MinerOptions options;
+      options.min_support = smin;
+      auto expected = MineClosedCollect(prefix_db, options);
+      ASSERT_TRUE(expected.ok());
+      EXPECT_TRUE(SameResults(expected.value(), streamed.value()))
+          << "prefix " << ingested << " smin " << smin << "\n"
+          << DiffResults(expected.value(), streamed.value());
+    }
+  }
+}
+
+TEST(StreamMinerTest, WindowedMatchesBatchOfWindowAtEveryStep) {
+  constexpr std::size_t kPane = 5;
+  constexpr std::size_t kWindow = 3;
+  const TransactionDatabase db = GenerateRandomDense(42, 10, 0.4, 99);
+  StreamMiner miner(Windowed(db.NumItems(), kPane, kWindow));
+  for (std::size_t k = 0; k < db.NumTransactions(); ++k) {
+    ASSERT_TRUE(miner.AddTransaction(db.transaction(k)).ok());
+    const std::size_t ingested = k + 1;
+    const std::size_t current_pane = ingested / kPane;
+    EXPECT_EQ(miner.CurrentPaneIndex(), current_pane);
+    // The snapshot covers the filling pane plus the kWindow - 1 most
+    // recent complete panes.
+    const std::size_t first_pane =
+        current_pane + 1 >= kWindow ? current_pane + 1 - kWindow : 0;
+    TransactionDatabase window_db;
+    window_db.SetNumItems(db.NumItems());
+    for (std::size_t t = first_pane * kPane; t < ingested; ++t) {
+      window_db.AddTransaction(db.transaction(t));
+    }
+    for (Support smin : {1u, 2u}) {
+      auto streamed = miner.QueryCollect(smin);
+      ASSERT_TRUE(streamed.ok());
+      auto expected = OracleClosedSets(window_db, smin);
+      ASSERT_TRUE(expected.ok());
+      EXPECT_TRUE(SameResults(expected.value(), streamed.value()))
+          << "tx " << ingested << " smin " << smin << "\n"
+          << DiffResults(expected.value(), streamed.value());
+    }
+  }
+}
+
+TEST(StreamMinerTest, WindowedSnapshotDropsExpiredTransactions) {
+  // Two panes, window of one pane: after each rotation the snapshot
+  // covers only the filling pane.
+  StreamMiner miner(Windowed(4, 2, 1));
+  ASSERT_TRUE(miner.AddTransaction({0, 1}).ok());
+  ASSERT_TRUE(miner.AddTransaction({0, 1}).ok());  // pane 0 completes
+  ASSERT_TRUE(miner.AddTransaction({2, 3}).ok());
+  auto sets = miner.QueryCollect(1);
+  ASSERT_TRUE(sets.ok());
+  ASSERT_EQ(sets.value().size(), 1u);
+  EXPECT_EQ(sets.value()[0].items, (std::vector<ItemId>{2, 3}));
+  EXPECT_EQ(sets.value()[0].support, 1u);
+}
+
+TEST(StreamMinerTest, RepeatedQueriesAreStableAndCompact) {
+  const TransactionDatabase db = GenerateRandomDense(30, 12, 0.35, 5);
+  StreamMiner miner(Windowed(db.NumItems(), 4, 8));
+  // Query after every transaction: each query seals the live tree, so
+  // panes accumulate several segments and queries must compact them
+  // without perturbing later snapshots.
+  for (std::size_t k = 0; k < db.NumTransactions(); ++k) {
+    ASSERT_TRUE(miner.AddTransaction(db.transaction(k)).ok());
+    auto a = miner.QueryCollect(2);
+    auto b = miner.QueryCollect(2);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value(), b.value());
+  }
+  TransactionDatabase window_db;
+  window_db.SetNumItems(db.NumItems());
+  for (std::size_t t = 0; t < db.NumTransactions(); ++t) {
+    window_db.AddTransaction(db.transaction(t));  // 30 tx < 8 panes * 4
+  }
+  auto streamed = miner.QueryCollect(1);
+  ASSERT_TRUE(streamed.ok());
+  MinerOptions options;
+  options.min_support = 1;
+  auto expected = MineClosedCollect(window_db, options);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(SameResults(expected.value(), streamed.value()))
+      << DiffResults(expected.value(), streamed.value());
+  const StreamStats stats = miner.Stats();
+  EXPECT_GT(stats.segments_compacted, 0u);
+  EXPECT_EQ(stats.queries, 2u * db.NumTransactions() + 1);
+}
+
+TEST(StreamMinerTest, ConcurrentQueriesDuringIngest) {
+  const TransactionDatabase db = GenerateRandomDense(300, 20, 0.3, 17);
+  StreamMiner miner(Landmark(db.NumItems()));
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> queries_ok{0};
+  std::vector<std::thread> readers;
+  readers.reserve(2);
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!done.load()) {
+        auto sets = miner.QueryCollect(3);
+        ASSERT_TRUE(sets.ok());
+        queries_ok.fetch_add(1);
+      }
+    });
+  }
+  for (std::size_t k = 0; k < db.NumTransactions(); ++k) {
+    ASSERT_TRUE(miner.AddTransaction(db.transaction(k)).ok());
+  }
+  done.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_GT(queries_ok.load(), 0u);
+  // The final snapshot is exact despite the query storm.
+  auto streamed = miner.QueryCollect(3);
+  ASSERT_TRUE(streamed.ok());
+  MinerOptions options;
+  options.min_support = 3;
+  auto expected = MineClosedCollect(db, options);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(SameResults(expected.value(), streamed.value()))
+      << DiffResults(expected.value(), streamed.value());
+}
+
+TEST(StreamMinerTest, CountersAndRegistryExport) {
+  obs::MetricRegistry registry;
+  StreamMinerOptions options = Windowed(8, 3, 2);
+  options.registry = &registry;
+  StreamMiner miner(options);
+  for (int r = 0; r < 4; ++r) {
+    ASSERT_TRUE(miner.AddTransaction({0, 1, 2}).ok());  // duplicate run
+  }
+  ASSERT_TRUE(miner.AddTransaction({1, 2, 3}).ok());
+  ASSERT_TRUE(miner.AddTransaction({2, 3, 4}).ok());  // completes pane 1
+  ASSERT_TRUE(miner.QueryCollect(1).ok());
+  const StreamStats stats = miner.Stats();
+  EXPECT_EQ(stats.transactions_ingested, 6u);
+  // The four copies collapse into one weighted addition (split at the
+  // pane boundary after tx 3): 4 raw transactions -> 2 weighted adds at
+  // most, plus the two distinct ones.
+  EXPECT_LT(stats.weighted_additions, stats.transactions_ingested);
+  EXPECT_EQ(stats.panes_rotated, 2u);
+  EXPECT_EQ(stats.panes_expired, 1u);
+  EXPECT_EQ(stats.queries, 1u);
+  EXPECT_GT(stats.live_segments, 0u);
+  EXPECT_GT(stats.repository_nodes, 0u);
+  const auto exported = registry.CounterValues();
+  EXPECT_EQ(exported.at("stream.transactions_ingested"),
+            stats.transactions_ingested);
+  EXPECT_EQ(exported.at("stream.weighted_additions"),
+            stats.weighted_additions);
+  EXPECT_EQ(exported.at("stream.panes_rotated"), stats.panes_rotated);
+  EXPECT_EQ(exported.at("stream.panes_expired"), stats.panes_expired);
+  EXPECT_EQ(exported.at("stream.queries"), stats.queries);
+  EXPECT_EQ(exported.at("stream.snapshot_merges"), stats.snapshot_merges);
+}
+
+TEST(StreamMinerTest, DuplicateMergingNeverChangesSnapshots) {
+  const TransactionDatabase db = GenerateRandomDense(10, 8, 0.5, 3);
+  StreamMinerOptions merged = Landmark(db.NumItems());
+  StreamMinerOptions unmerged = Landmark(db.NumItems());
+  unmerged.merge_duplicate_transactions = false;
+  StreamMiner a(merged);
+  StreamMiner b(unmerged);
+  for (std::size_t k = 0; k < db.NumTransactions(); ++k) {
+    for (std::size_t c = 0; c < 1 + k % 4; ++c) {
+      ASSERT_TRUE(a.AddTransaction(db.transaction(k)).ok());
+      ASSERT_TRUE(b.AddTransaction(db.transaction(k)).ok());
+    }
+    auto sa = a.QueryCollect(2);
+    auto sb = b.QueryCollect(2);
+    ASSERT_TRUE(sa.ok());
+    ASSERT_TRUE(sb.ok());
+    EXPECT_EQ(sa.value(), sb.value());
+  }
+  EXPECT_LT(a.Stats().weighted_additions, b.Stats().weighted_additions);
+}
+
+TEST(StreamMinerTest, RejectsBadInput) {
+  StreamMiner miner(Landmark(5));
+  EXPECT_FALSE(miner.AddTransaction({}).ok());
+  EXPECT_EQ(miner.AddTransaction({7}).code(), StatusCode::kOutOfRange);
+  ASSERT_TRUE(miner.AddTransaction({4, 1, 1}).ok());  // normalized
+  EXPECT_EQ(miner.NumTransactions(), 1u);
+  EXPECT_FALSE(miner.Query(0, [](auto, auto) {}).ok());
+  auto empty = StreamMiner(Landmark(3)).QueryCollect(1);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().empty());
+}
+
+}  // namespace
+}  // namespace fim

@@ -1,0 +1,389 @@
+// fim-stream: continuous closed-item-set mining over a transaction
+// stream (src/stream/). Replays a FIMI file — or reads stdin line by
+// line — into a StreamMiner, answering exact snapshot queries along the
+// way and optionally checkpointing/resuming the miner state.
+//
+//   fim-stream [-s minsupp] [--pane=N --window=W] [--query-every=N]
+//              [--checkpoint=PATH] [--checkpoint-every=N] [--resume=PATH]
+//              [--max-items=N] [-q] [--stats[=text|json]]
+//              [--stats-out=PATH] [input [output]]
+//
+//   -s N        minimum support of every snapshot query (default: 2)
+//   --pane=N    transactions per tumbling pane (sliding-window mode;
+//               requires --window)
+//   --window=W  number of live panes a snapshot covers (requires --pane).
+//               Without --pane/--window the miner runs in landmark mode:
+//               every snapshot covers the whole stream so far.
+//   --query-every=N
+//               emit an intermediate snapshot after every N ingested
+//               transactions, preceded by a "# snapshot tx=T sets=S"
+//               header line (T counts from the start of the stream, so a
+//               resumed run emits the same headers at the same points)
+//   --checkpoint=PATH
+//               write a fim-stream-v1 checkpoint of the full miner state
+//               to PATH after the input is exhausted
+//   --checkpoint-every=N
+//               additionally checkpoint after every N transactions
+//               (atomic: written to PATH.tmp, then renamed)
+//   --resume=PATH
+//               restore the miner from a checkpoint before ingesting;
+//               mode and item capacity come from the checkpoint and
+//               override --pane/--window/--max-items
+//   --max-items=N
+//               item-universe capacity; ingesting an item id >= N is an
+//               error (default: 1048576)
+//   -q          quiet: no progress line on stderr
+//   --stats[=text|json], --stats-out=PATH
+//               emit an execution-statistics report including the
+//               stream.* counters (see docs/OBSERVABILITY.md)
+//   input       FIMI text file; "-" or absent: stdin (line-buffered —
+//               suitable for live piping)
+//   output      snapshot destination; "-" or absent: stdout
+//
+// After the input ends, the final snapshot is always printed in fim-mine
+// format ("3 17 42 (57)" lines), so `fim-stream -s N input` on a finite
+// file produces the same sets as `fim-mine -s N input` in landmark mode.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "data/itemset.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "stream/stream_miner.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: fim-stream [-s minsupp] [--pane=N --window=W] "
+      "[--query-every=N] [--checkpoint=PATH] [--checkpoint-every=N] "
+      "[--resume=PATH] [--max-items=N] [-q] [--stats[=text|json]] "
+      "[--stats-out=PATH] [input [output]]\n");
+}
+
+enum class StatsFormat { kNone, kText, kJson };
+
+struct Args {
+  fim::Support min_support = 2;
+  std::size_t pane_size = 0;
+  std::size_t window_panes = 0;
+  std::uint64_t query_every = 0;
+  std::uint64_t checkpoint_every = 0;
+  std::string checkpoint_path;
+  std::string resume_path;
+  std::size_t max_items = std::size_t{1} << 20;
+  bool quiet = false;
+  StatsFormat stats_format = StatsFormat::kNone;
+  std::string stats_out;
+  std::string input = "-";
+  std::string output = "-";
+};
+
+/// Fills `args` from the command line; returns -1 to proceed, otherwise
+/// the process exit code.
+int ParseArgs(int argc, char** argv, Args* args) {
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "-s") == 0) {
+      args->min_support = static_cast<fim::Support>(std::atoll(next_value()));
+    } else if (std::strncmp(arg, "--pane=", 7) == 0) {
+      args->pane_size = static_cast<std::size_t>(std::atoll(arg + 7));
+    } else if (std::strncmp(arg, "--window=", 9) == 0) {
+      args->window_panes = static_cast<std::size_t>(std::atoll(arg + 9));
+    } else if (std::strncmp(arg, "--query-every=", 14) == 0) {
+      args->query_every = static_cast<std::uint64_t>(std::atoll(arg + 14));
+    } else if (std::strncmp(arg, "--checkpoint=", 13) == 0) {
+      args->checkpoint_path = arg + 13;
+    } else if (std::strncmp(arg, "--checkpoint-every=", 19) == 0) {
+      args->checkpoint_every =
+          static_cast<std::uint64_t>(std::atoll(arg + 19));
+    } else if (std::strncmp(arg, "--resume=", 9) == 0) {
+      args->resume_path = arg + 9;
+    } else if (std::strncmp(arg, "--max-items=", 12) == 0) {
+      args->max_items = static_cast<std::size_t>(std::atoll(arg + 12));
+    } else if (std::strcmp(arg, "-q") == 0) {
+      args->quiet = true;
+    } else if (std::strcmp(arg, "--stats") == 0 ||
+               std::strcmp(arg, "--stats=text") == 0) {
+      args->stats_format = StatsFormat::kText;
+    } else if (std::strcmp(arg, "--stats=json") == 0) {
+      args->stats_format = StatsFormat::kJson;
+    } else if (std::strncmp(arg, "--stats-out=", 12) == 0) {
+      args->stats_out = arg + 12;
+    } else if (std::strcmp(arg, "-h") == 0 ||
+               std::strcmp(arg, "--help") == 0) {
+      Usage();
+      return 0;
+    } else if (positional == 0) {
+      args->input = arg;
+      ++positional;
+    } else if (positional == 1) {
+      args->output = arg;
+      ++positional;
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  if ((args->pane_size == 0) != (args->window_panes == 0)) {
+    std::fprintf(stderr,
+                 "error: --pane and --window must be given together\n");
+    return 2;
+  }
+  if (args->min_support == 0 || args->max_items == 0) {
+    std::fprintf(stderr, "error: -s and --max-items must be >= 1\n");
+    return 2;
+  }
+  if (args->stats_format == StatsFormat::kNone && !args->stats_out.empty()) {
+    args->stats_format = StatsFormat::kText;  // --stats-out implies --stats
+  }
+  if (args->checkpoint_every > 0 && args->checkpoint_path.empty()) {
+    std::fprintf(stderr,
+                 "error: --checkpoint-every needs --checkpoint=PATH\n");
+    return 2;
+  }
+  return -1;
+}
+
+int EmitStats(const Args& args, fim::StreamMiner& miner,
+              const fim::obs::MetricRegistry& registry, std::size_t num_sets,
+              double wall_seconds, double cpu_seconds) {
+  fim::obs::StatsReport report;
+  report.tool = "fim-stream";
+  report.algorithm =
+      miner.options().pane_size > 0 ? "stream-window" : "stream-landmark";
+  report.min_support = args.min_support;
+  report.num_threads = 1;
+  report.num_sets = num_sets;
+  report.wall_seconds = wall_seconds;
+  report.cpu_seconds = cpu_seconds;
+  report.peak_rss_bytes = fim::PeakRss();
+  report.registry = &registry;
+  const std::string rendered = args.stats_format == StatsFormat::kJson
+                                   ? fim::obs::RenderStatsJson(report)
+                                   : fim::obs::RenderStatsText(report);
+  if (args.stats_out.empty()) {
+    std::fputs(rendered.c_str(), stderr);
+    return 0;
+  }
+  std::ofstream stats_file(args.stats_out, std::ios::trunc);
+  if (!stats_file) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n",
+                 args.stats_out.c_str());
+    return 1;
+  }
+  stats_file << rendered;
+  return 0;
+}
+
+/// Parses one FIMI line into items. Returns false for blank/comment
+/// lines; a negative token is reported as a parse error via `error`.
+bool ParseLine(const std::string& line, std::vector<fim::ItemId>* items,
+               bool* error) {
+  items->clear();
+  *error = false;
+  const char* p = line.c_str();
+  while (*p == ' ' || *p == '\t' || *p == '\r') ++p;
+  if (*p == '\0' || *p == '#') return false;
+  while (*p != '\0') {
+    char* end = nullptr;
+    const long long value = std::strtoll(p, &end, 10);
+    if (end == p || value < 0) {
+      *error = true;
+      return false;
+    }
+    items->push_back(static_cast<fim::ItemId>(value));
+    p = end;
+    while (*p == ' ' || *p == '\t' || *p == '\r') ++p;
+  }
+  return !items->empty();
+}
+
+int PrintSnapshot(fim::StreamMiner& miner, fim::Support min_support,
+                  std::ostream& out, std::size_t* num_sets) {
+  std::size_t count = 0;
+  fim::Status status = miner.Query(
+      min_support, [&](std::span<const fim::ItemId> items,
+                       fim::Support support) {
+        for (std::size_t i = 0; i < items.size(); ++i) {
+          if (i > 0) out << ' ';
+          out << items[i];
+        }
+        out << " (" << support << ")\n";
+        ++count;
+      });
+  if (!status.ok()) {
+    std::fprintf(stderr, "query failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  *num_sets = count;
+  return 0;
+}
+
+int WriteCheckpoint(fim::StreamMiner& miner, const std::string& path) {
+  // Write-then-rename, so a reader (or a crash) never sees a torn file.
+  const std::string tmp = path + ".tmp";
+  fim::Status status = miner.Checkpoint(tmp);
+  if (status.ok() && std::rename(tmp.c_str(), path.c_str()) != 0) {
+    status = fim::Status::IoError("cannot rename " + tmp + " to " + path);
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "checkpoint failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fim;
+
+  Args args;
+  if (int rc = ParseArgs(argc, argv, &args); rc >= 0) return rc;
+
+  WallTimer total;
+  CpuTimer total_cpu;
+  obs::MetricRegistry registry;
+
+  std::unique_ptr<StreamMiner> miner;
+  if (!args.resume_path.empty()) {
+    auto restored = StreamMiner::Restore(args.resume_path, &registry);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "error restoring %s: %s\n",
+                   args.resume_path.c_str(),
+                   restored.status().ToString().c_str());
+      return 1;
+    }
+    miner = std::move(restored).value();
+    if (!args.quiet) {
+      std::fprintf(stderr, "fim-stream: resumed at tx %llu from %s\n",
+                   static_cast<unsigned long long>(miner->NumTransactions()),
+                   args.resume_path.c_str());
+    }
+  } else {
+    StreamMinerOptions options;
+    options.max_items = args.max_items;
+    options.pane_size = args.pane_size;
+    options.window_panes = args.window_panes;
+    options.registry = &registry;
+    miner = std::make_unique<StreamMiner>(options);
+  }
+
+  std::ifstream file_in;
+  std::istream* in = &std::cin;
+  if (args.input != "-") {
+    file_in.open(args.input);
+    if (!file_in) {
+      std::fprintf(stderr, "error: cannot open %s\n", args.input.c_str());
+      return 1;
+    }
+    in = &file_in;
+  }
+  std::ofstream file_out;
+  std::ostream* out = &std::cout;
+  if (args.output != "-") {
+    file_out.open(args.output, std::ios::trunc);
+    if (!file_out) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n",
+                   args.output.c_str());
+      return 1;
+    }
+    out = &file_out;
+  }
+
+  std::string line;
+  std::vector<ItemId> items;
+  std::uint64_t line_number = 0;
+  while (std::getline(*in, line)) {
+    ++line_number;
+    bool parse_error = false;
+    if (!ParseLine(line, &items, &parse_error)) {
+      if (parse_error) {
+        std::fprintf(stderr, "error: %s line %llu: not a FIMI transaction\n",
+                     args.input.c_str(),
+                     static_cast<unsigned long long>(line_number));
+        return 1;
+      }
+      continue;  // blank or comment line
+    }
+    Status status = miner->AddTransaction(items);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s line %llu: %s\n", args.input.c_str(),
+                   static_cast<unsigned long long>(line_number),
+                   status.ToString().c_str());
+      return 1;
+    }
+    const std::uint64_t ingested = miner->NumTransactions();
+    if (args.query_every > 0 && ingested % args.query_every == 0) {
+      // The header carries the absolute stream position, so snapshots of
+      // a resumed run line up with the uninterrupted one.
+      std::size_t num_sets = 0;
+      std::ostringstream snapshot;
+      if (int rc =
+              PrintSnapshot(*miner, args.min_support, snapshot, &num_sets);
+          rc != 0) {
+        return rc;
+      }
+      *out << "# snapshot tx=" << ingested << " sets=" << num_sets << "\n"
+           << snapshot.str();
+      out->flush();
+    }
+    if (args.checkpoint_every > 0 && ingested % args.checkpoint_every == 0) {
+      if (int rc = WriteCheckpoint(*miner, args.checkpoint_path); rc != 0) {
+        return rc;
+      }
+    }
+  }
+
+  std::size_t num_sets = 0;
+  if (args.query_every > 0) {
+    *out << "# final tx=" << miner->NumTransactions() << "\n";
+  }
+  if (int rc = PrintSnapshot(*miner, args.min_support, *out, &num_sets);
+      rc != 0) {
+    return rc;
+  }
+  out->flush();
+  if (!args.checkpoint_path.empty()) {
+    if (int rc = WriteCheckpoint(*miner, args.checkpoint_path); rc != 0) {
+      return rc;
+    }
+  }
+
+  const StreamStats stream_stats = miner->Stats();
+  if (!args.quiet) {
+    std::fprintf(
+        stderr,
+        "fim-stream: %llu transactions (%llu weighted adds, %llu panes), "
+        "%zu sets at smin %u, %zu nodes, %.3fs\n",
+        static_cast<unsigned long long>(stream_stats.transactions_ingested),
+        static_cast<unsigned long long>(stream_stats.weighted_additions),
+        static_cast<unsigned long long>(stream_stats.panes_rotated),
+        num_sets, args.min_support, miner->NodeCount(), total.Seconds());
+  }
+  if (args.stats_format != StatsFormat::kNone) {
+    return EmitStats(args, *miner, registry, num_sets, total.Seconds(),
+                     total_cpu.Seconds());
+  }
+  return 0;
+}
