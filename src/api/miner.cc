@@ -1,5 +1,7 @@
 #include "api/miner.h"
 
+#include "obs/timeline.h"
+
 #include "carpenter/carpenter.h"
 #include "carpenter/cobbler.h"
 #include "cumulative/flat_cumulative.h"
@@ -56,9 +58,12 @@ const std::vector<Algorithm>& AllAlgorithms() {
 Status MineClosed(const TransactionDatabase& db, const MinerOptions& options,
                   const ClosedSetCallback& callback, MinerStats* stats,
                   obs::Trace* trace) {
-  // Every algorithm mines inside one "mine" span; IsTa nests its internal
+  // Every algorithm mines inside one "mine" span (and one "mine"
+  // timeline event pair on the driver lane); IsTa nests its internal
   // phases below it.
-  obs::Span mine_span(trace, "mine");
+  obs::TimelineLane* lane =
+      options.timeline != nullptr ? options.timeline->driver() : nullptr;
+  obs::Phase mine_phase(trace, lane, "mine");
   switch (options.algorithm) {
     case Algorithm::kIsta: {
       IstaOptions ista;
@@ -67,6 +72,7 @@ Status MineClosed(const TransactionDatabase& db, const MinerOptions& options,
       ista.transaction_order = options.transaction_order;
       ista.item_elimination = options.item_elimination;
       ista.num_threads = options.num_threads;
+      ista.timeline = options.timeline;
       return MineClosedIsta(db, ista, callback, stats, trace);
     }
     case Algorithm::kCarpenterLists:

@@ -14,6 +14,10 @@
 
 namespace fim {
 
+namespace obs {
+class Timeline;
+}  // namespace obs
+
 /// All closed-set mining algorithms of the library.
 enum class Algorithm {
   kIsta,            // cumulative intersection, prefix-tree repository (§3.2-3.3)
@@ -58,6 +62,14 @@ struct MinerOptions {
   /// fans out first-level subtrees). Other algorithms ignore it. Output
   /// is identical to the sequential run for every thread count.
   unsigned num_threads = 1;
+
+  /// Optional per-thread event timeline (obs/timeline.h): the driving
+  /// thread records its phases on the timeline's driver lane and every
+  /// worker thread (IsTa shards, merge reduction, recoding chunks)
+  /// registers its own lane, so a Chrome-trace export shows the real
+  /// parallel schedule. Output-neutral like stats/trace. The timeline
+  /// must outlive the call.
+  obs::Timeline* timeline = nullptr;
 };
 
 /// Mines the closed frequent item sets of `db` with the selected

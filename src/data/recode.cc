@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <numeric>
+#include <string>
 #include <thread>
+
+#include "obs/timeline.h"
 
 namespace fim {
 
@@ -92,9 +95,12 @@ std::vector<std::vector<ItemId>> MapChunk(
 // identical to a sequential std::stable_sort.
 void ParallelStableSort(
     std::vector<std::vector<ItemId>>* mapped, std::size_t num_chunks,
-    bool (*less)(const std::vector<ItemId>&, const std::vector<ItemId>&)) {
+    bool (*less)(const std::vector<ItemId>&, const std::vector<ItemId>&),
+    obs::Timeline* timeline) {
   num_chunks = std::min(num_chunks, std::max<std::size_t>(mapped->size(), 1));
   if (num_chunks <= 1) {
+    obs::TimelineScope sort_scope(
+        timeline != nullptr ? timeline->driver() : nullptr, "sort");
     std::stable_sort(mapped->begin(), mapped->end(), less);
     return;
   }
@@ -106,7 +112,12 @@ void ParallelStableSort(
     std::vector<std::thread> workers;
     workers.reserve(num_chunks);
     for (std::size_t c = 0; c < num_chunks; ++c) {
-      workers.emplace_back([mapped, &bounds, less, c]() {
+      workers.emplace_back([mapped, &bounds, less, timeline, c]() {
+        obs::TimelineLane* wlane =
+            timeline != nullptr
+                ? timeline->AddLane("recode-sort-" + std::to_string(c))
+                : nullptr;
+        obs::TimelineScope sort_scope(wlane, "sort-chunk");
         std::stable_sort(mapped->begin() + bounds[c],
                          mapped->begin() + bounds[c + 1], less);
       });
@@ -116,12 +127,21 @@ void ParallelStableSort(
   for (std::size_t stride = 1; stride < num_chunks; stride *= 2) {
     std::vector<std::thread> mergers;
     for (std::size_t c = 0; c + stride < num_chunks; c += 2 * stride) {
-      mergers.emplace_back([mapped, &bounds, less, c, stride, num_chunks]() {
-        std::inplace_merge(
-            mapped->begin() + bounds[c], mapped->begin() + bounds[c + stride],
-            mapped->begin() + bounds[std::min(c + 2 * stride, num_chunks)],
-            less);
-      });
+      mergers.emplace_back(
+          [mapped, &bounds, less, timeline, c, stride, num_chunks]() {
+            obs::TimelineLane* mlane =
+                timeline != nullptr
+                    ? timeline->AddLane("recode-merge-" +
+                                        std::to_string(stride) + "-" +
+                                        std::to_string(c))
+                    : nullptr;
+            obs::TimelineScope merge_scope(mlane, "merge-runs");
+            std::inplace_merge(
+                mapped->begin() + bounds[c],
+                mapped->begin() + bounds[c + stride],
+                mapped->begin() + bounds[std::min(c + 2 * stride, num_chunks)],
+                less);
+          });
     }
     for (auto& merger : mergers) merger.join();
   }
@@ -144,13 +164,16 @@ bool SizeDescendingLess(const std::vector<ItemId>& a,
 TransactionDatabase ApplyRecoding(const TransactionDatabase& db,
                                   const Recoding& recoding,
                                   TransactionOrder transaction_order,
-                                  unsigned num_threads) {
+                                  unsigned num_threads,
+                                  obs::Timeline* timeline) {
   const auto& transactions = db.transactions();
   const std::size_t num_chunks = std::max<std::size_t>(
       std::min<std::size_t>(num_threads, transactions.size()), 1);
 
   std::vector<std::vector<ItemId>> mapped;
   if (num_chunks <= 1) {
+    obs::TimelineScope map_scope(
+        timeline != nullptr ? timeline->driver() : nullptr, "map");
     mapped = MapChunk(transactions, recoding);
   } else {
     // Map disjoint chunks concurrently, then splice them back together in
@@ -160,6 +183,11 @@ TransactionDatabase ApplyRecoding(const TransactionDatabase& db,
     workers.reserve(num_chunks);
     for (std::size_t c = 0; c < num_chunks; ++c) {
       workers.emplace_back([&, c]() {
+        obs::TimelineLane* wlane =
+            timeline != nullptr
+                ? timeline->AddLane("recode-map-" + std::to_string(c))
+                : nullptr;
+        obs::TimelineScope map_scope(wlane, "map-chunk");
         const std::size_t begin = c * transactions.size() / num_chunks;
         const std::size_t end = (c + 1) * transactions.size() / num_chunks;
         chunks[c] = MapChunk(
@@ -179,10 +207,10 @@ TransactionDatabase ApplyRecoding(const TransactionDatabase& db,
     case TransactionOrder::kNone:
       break;
     case TransactionOrder::kSizeAscending:
-      ParallelStableSort(&mapped, num_chunks, SizeAscendingLess);
+      ParallelStableSort(&mapped, num_chunks, SizeAscendingLess, timeline);
       break;
     case TransactionOrder::kSizeDescending:
-      ParallelStableSort(&mapped, num_chunks, SizeDescendingLess);
+      ParallelStableSort(&mapped, num_chunks, SizeDescendingLess, timeline);
       break;
   }
 

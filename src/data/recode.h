@@ -9,6 +9,10 @@
 
 namespace fim {
 
+namespace obs {
+class Timeline;
+}  // namespace obs
+
 /// Item code assignment policy (paper §3.4). The intersection miners are
 /// fastest with ascending frequency (the rarest item gets code 0).
 enum class ItemOrder {
@@ -53,10 +57,15 @@ Recoding ComputeRecoding(const TransactionDatabase& db, ItemOrder order,
 /// A stable sort's output is uniquely determined by the comparator and the
 /// input order, so the result is identical to the sequential one for every
 /// thread count.
+///
+/// `timeline` (optional, obs/timeline.h) gives each worker thread its own
+/// event lane ("recode-map-N", "recode-sort-N", "recode-merge-..."); the
+/// recorded events never affect the result.
 TransactionDatabase ApplyRecoding(const TransactionDatabase& db,
                                   const Recoding& recoding,
                                   TransactionOrder transaction_order,
-                                  unsigned num_threads = 1);
+                                  unsigned num_threads = 1,
+                                  obs::Timeline* timeline = nullptr);
 
 /// Maps mined item codes back to original item ids (sorted ascending).
 std::vector<ItemId> DecodeItems(std::span<const ItemId> coded,

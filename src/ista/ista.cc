@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "ista/prefix_tree.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 
 namespace fim {
@@ -49,7 +50,8 @@ std::vector<WeightedTransaction> BuildWeightedStream(
 IstaPrefixTree MineShard(const std::vector<WeightedTransaction>& stream,
                          std::size_t start, std::size_t end,
                          std::size_t num_items, std::vector<Support>* remaining,
-                         const IstaOptions& options) {
+                         const IstaOptions& options,
+                         obs::TimelineLane* lane = nullptr) {
   IstaPrefixTree tree(num_items);
   std::size_t prune_threshold = options.prune_node_threshold;
   for (std::size_t k = start; k < end; ++k) {
@@ -57,8 +59,13 @@ IstaPrefixTree MineShard(const std::vector<WeightedTransaction>& stream,
     tree.AddTransaction(*wt.items, wt.weight);
     for (ItemId i : *wt.items) (*remaining)[i] -= wt.weight;
     if (options.item_elimination && tree.NodeCount() > prune_threshold) {
+      obs::TimelineScope prune_scope(lane, "prune");
       tree.Prune(options.min_support, *remaining);
       prune_threshold = std::max(prune_threshold, 2 * tree.NodeCount());
+      prune_scope.End();
+      if (lane != nullptr) {
+        lane->Counter("nodes", static_cast<double>(tree.NodeCount()));
+      }
     }
   }
   return tree;
@@ -103,18 +110,22 @@ Status MineClosedIsta(const TransactionDatabase& db, const IstaOptions& options,
   // frequent set, order the transactions (paper §3.4).
   const Support min_item_support =
       options.item_elimination ? options.min_support : 1;
-  obs::Span recode_span(trace, "recode");
+  obs::Timeline* const timeline = options.timeline;
+  obs::TimelineLane* const lane =
+      timeline != nullptr ? timeline->driver() : nullptr;
+  obs::Phase recode_phase(trace, lane, "recode");
   const Recoding recoding =
       ComputeRecoding(db, options.item_order, min_item_support);
-  const TransactionDatabase coded = ApplyRecoding(
-      db, recoding, options.transaction_order, options.num_threads);
-  recode_span.End();
+  const TransactionDatabase coded =
+      ApplyRecoding(db, recoding, options.transaction_order,
+                    options.num_threads, timeline);
+  recode_phase.End();
   if (coded.NumTransactions() == 0) return Status::OK();
 
-  obs::Span dedup_span(trace, "dedup");
+  obs::Phase dedup_phase(trace, lane, "dedup");
   const std::vector<WeightedTransaction> stream =
       BuildWeightedStream(coded, options.merge_duplicate_transactions);
-  dedup_span.End();
+  dedup_phase.End();
   if (stats != nullptr) stats->weighted_transactions = stream.size();
 
   // Remaining occurrences of each item over the full coded database; each
@@ -126,12 +137,12 @@ Status MineClosedIsta(const TransactionDatabase& db, const IstaOptions& options,
 
   if (num_workers <= 1) {
     std::vector<Support> remaining = frequencies;
-    obs::Span mine_span(trace, "shard-mine");
+    obs::Phase mine_phase(trace, lane, "shard-mine");
     IstaPrefixTree tree = MineShard(stream, 0, stream.size(), coded.NumItems(),
-                                    &remaining, options);
-    mine_span.End();
+                                    &remaining, options, lane);
+    mine_phase.End();
     FIM_DCHECK_OK(tree.ValidateInvariants());
-    obs::Span report_span(trace, "report");
+    obs::Phase report_phase(trace, lane, "report");
     ReportWithStats(tree, recoding, options.min_support, callback, stats);
     return Status::OK();
   }
@@ -148,17 +159,23 @@ Status MineClosedIsta(const TransactionDatabase& db, const IstaOptions& options,
   std::vector<std::optional<IstaPrefixTree>> trees(num_workers);
   std::vector<std::vector<Support>> remaining(num_workers);
   {
-    obs::Span mine_span(trace, "shard-mine");
+    obs::Phase mine_phase(trace, lane, "shard-mine");
     std::vector<std::thread> workers;
     workers.reserve(num_workers);
     for (std::size_t w = 0; w < num_workers; ++w) {
       workers.emplace_back([&, w]() {
+        obs::TimelineLane* wlane =
+            timeline != nullptr
+                ? timeline->AddLane("ista-worker-" + std::to_string(w))
+                : nullptr;
+        obs::TimelineScope shard_scope(wlane, "shard-mine");
         const std::size_t begin = w * stream.size() / num_workers;
         const std::size_t end = (w + 1) * stream.size() / num_workers;
         remaining[w] = frequencies;
         trees[w].emplace(MineShard(stream, begin, end, coded.NumItems(),
-                                   &remaining[w], options));
+                                   &remaining[w], options, wlane));
         if (options.item_elimination) {
+          obs::TimelineScope prune_scope(wlane, "prune");
           trees[w]->Prune(options.min_support, remaining[w]);
         }
       });
@@ -180,13 +197,21 @@ Status MineClosedIsta(const TransactionDatabase& db, const IstaOptions& options,
   // the final tree carries the totals over all workers and stages.
   std::size_t merge_calls = 0;
   {
-    obs::Span merge_span(trace, "merge");
+    obs::Phase merge_phase(trace, lane, "merge");
     for (std::size_t stride = 1; stride < num_workers; stride *= 2) {
       std::vector<std::thread> mergers;
       for (std::size_t i = 0; i + stride < num_workers; i += 2 * stride) {
         ++merge_calls;
         mergers.emplace_back(
-            [&trees, &remaining, &frequencies, &options, i, stride]() {
+            [&trees, &remaining, &frequencies, &options, timeline, i,
+             stride]() {
+              obs::TimelineLane* mlane =
+                  timeline != nullptr
+                      ? timeline->AddLane("ista-merge-" +
+                                          std::to_string(stride) + "-" +
+                                          std::to_string(i))
+                      : nullptr;
+              obs::TimelineScope merge_scope(mlane, "merge");
               // Replaying the smaller repository into the larger one is
               // cheaper (the replay visits every stored set of the source);
               // the result is identical either way. The remaining table
@@ -219,7 +244,7 @@ Status MineClosedIsta(const TransactionDatabase& db, const IstaOptions& options,
 
   IstaPrefixTree& tree = *trees.front();
   FIM_DCHECK_OK(tree.ValidateInvariants());
-  obs::Span report_span(trace, "report");
+  obs::Phase report_phase(trace, lane, "report");
   ReportWithStats(tree, recoding, options.min_support, callback, stats);
   if (stats != nullptr) stats->merge_calls = merge_calls;
   return Status::OK();

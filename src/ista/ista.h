@@ -12,6 +12,10 @@
 
 namespace fim {
 
+namespace obs {
+class Timeline;
+}  // namespace obs
+
 /// Options of the IsTa miner (cumulative transaction intersection with a
 /// prefix-tree repository, paper §3.2-§3.4).
 struct IstaOptions {
@@ -48,6 +52,12 @@ struct IstaOptions {
   /// including its order — is bit-identical to the sequential run for
   /// every thread count.
   unsigned num_threads = 1;
+
+  /// Optional per-thread event timeline (obs/timeline.h). The driving
+  /// thread records the phase events on the driver lane; every shard
+  /// worker and merge worker registers its own lane. Output-neutral;
+  /// must outlive the call.
+  obs::Timeline* timeline = nullptr;
 };
 
 // Execution statistics (optional output of MineClosedIsta): the unified

@@ -39,15 +39,23 @@ std::string RenderStatsText(const StatsReport& report);
 /// Machine-readable rendering. Schema (see docs/OBSERVABILITY.md):
 ///
 ///   {
-///     "schema": "fim-stats-v1",
+///     "schema": "fim-stats-v2",
 ///     "tool": "...", "algorithm": "...",
 ///     "min_support": N, "threads": N, "num_sets": N,
 ///     "wall_seconds": F, "cpu_seconds": F, "peak_rss_bytes": N,
 ///     "counters": { "<name>": N, ... },           // full catalog
+///     "distributions": { "<name>": { "count": N, "sum": N, "min": N,
+///                        "max": N, "mean": F, "p50": F, "p95": F,
+///                        "p99": F }, ... },       // with a registry only
 ///     "spans": [ { "name": "...", "wall_seconds": F,
 ///                  "cpu_seconds": F, "count": N,
 ///                  "children": [ ... ] }, ... ]   // omitted w/o trace
 ///   }
+///
+/// v1 -> v2: the "distributions" section was added (histogram-backed
+/// approximate percentiles of every registry Distribution); everything
+/// else is unchanged, so v1 consumers that ignore unknown keys keep
+/// working.
 std::string RenderStatsJson(const StatsReport& report);
 
 }  // namespace fim::obs

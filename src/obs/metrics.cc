@@ -1,6 +1,36 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
+
 namespace fim::obs {
+
+double Distribution::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile, 1-based: q = 0 -> first value,
+  // q = 1 -> last value.
+  const double target = 1.0 + q * static_cast<double>(count - 1);
+  std::uint64_t cumulative = 0;
+  for (std::size_t bucket = 0; bucket < kNumBuckets; ++bucket) {
+    const std::uint64_t in_bucket = buckets[bucket];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      // Interpolate linearly inside the bucket, then clamp to the
+      // observed range (the extreme buckets usually extend past it).
+      const double lower = static_cast<double>(BucketLower(bucket));
+      const double upper = static_cast<double>(BucketUpper(bucket));
+      const double into = target - static_cast<double>(cumulative);
+      const double fraction =
+          in_bucket <= 1 ? 0.0
+                         : (into - 1.0) / static_cast<double>(in_bucket - 1);
+      const double value = lower + fraction * (upper - lower);
+      return std::clamp(value, static_cast<double>(min),
+                        static_cast<double>(max));
+    }
+    cumulative += in_bucket;
+  }
+  return static_cast<double>(max);
+}
 
 Counter& MetricRegistry::GetCounter(std::string_view name) {
   const std::scoped_lock lock(mutex_);

@@ -1,7 +1,9 @@
 #ifndef FIM_OBS_METRICS_H_
 #define FIM_OBS_METRICS_H_
 
+#include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -30,27 +32,62 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
-/// A value distribution: count, sum, min, max. Same relaxed-atomic
-/// contract as Counter; min/max use CAS loops, still lock-free and
-/// TSan-clean. Concurrent snapshots may be mutually inconsistent
-/// (e.g. a count without its sum yet) but each field is valid.
+/// A value distribution: count, sum, min, max, plus a fixed log-scale
+/// histogram for approximate quantiles. Same relaxed-atomic contract as
+/// Counter; min/max use CAS loops, still lock-free and TSan-clean.
+/// Concurrent snapshots may be mutually inconsistent (e.g. a count
+/// without its sum yet) but each field is valid.
+///
+/// The histogram has one bucket per power of two: bucket 0 counts the
+/// value 0 and bucket k >= 1 counts values in [2^(k-1), 2^k). The
+/// bucket layout is fixed (no configuration, no allocation), so
+/// recording stays one extra relaxed add and two distributions are
+/// always comparable bucket by bucket.
 class Distribution {
  public:
+  /// Bucket 0 plus one bucket per possible bit width of a uint64.
+  static constexpr std::size_t kNumBuckets = 65;
+
   struct Snapshot {
     std::uint64_t count = 0;
     std::uint64_t sum = 0;
     std::uint64_t min = 0;  // 0 when count == 0
     std::uint64_t max = 0;
+    std::array<std::uint64_t, kNumBuckets> buckets{};
 
     double Mean() const {
       return count == 0 ? 0.0
                         : static_cast<double>(sum) / static_cast<double>(count);
     }
+
+    /// Approximate quantile (q in [0, 1]) from the log-scale buckets:
+    /// finds the bucket holding the q-th ranked value and interpolates
+    /// linearly inside it, clamped to the observed [min, max]. Exact at
+    /// q = 0 and q = 1; within a factor of 2 elsewhere (the bucket
+    /// resolution). Returns 0 for an empty distribution.
+    double Quantile(double q) const;
   };
+
+  /// Maps a value to its histogram bucket.
+  static constexpr std::size_t BucketIndex(std::uint64_t value) {
+    return value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value));
+  }
+
+  /// Inclusive value range [lower, upper] a bucket covers.
+  static constexpr std::uint64_t BucketLower(std::size_t bucket) {
+    return bucket == 0 ? 0 : std::uint64_t{1} << (bucket - 1);
+  }
+  static constexpr std::uint64_t BucketUpper(std::size_t bucket) {
+    return bucket == 0 ? 0
+           : bucket >= 64
+               ? ~std::uint64_t{0}
+               : (std::uint64_t{1} << bucket) - 1;
+  }
 
   void Record(std::uint64_t value) {
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(value, std::memory_order_relaxed);
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
     UpdateMin(value);
     UpdateMax(value);
   }
@@ -62,6 +99,9 @@ class Distribution {
     const std::uint64_t min = min_.load(std::memory_order_relaxed);
     snapshot.min = snapshot.count == 0 ? 0 : min;
     snapshot.max = max_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+      snapshot.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
     return snapshot;
   }
 
@@ -70,6 +110,7 @@ class Distribution {
     sum_.store(0, std::memory_order_relaxed);
     min_.store(kNoMin, std::memory_order_relaxed);
     max_.store(0, std::memory_order_relaxed);
+    for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -95,6 +136,7 @@ class Distribution {
   std::atomic<std::uint64_t> sum_{0};
   std::atomic<std::uint64_t> min_{kNoMin};
   std::atomic<std::uint64_t> max_{0};
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
 };
 
 /// A registry of named counters and distributions. Registration (the

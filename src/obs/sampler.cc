@@ -1,0 +1,124 @@
+#include "obs/sampler.h"
+
+#include "common/timer.h"
+#include "obs/json.h"
+
+namespace fim::obs {
+
+MetricsSampler::MetricsSampler(const MetricsSamplerOptions& options,
+                               std::ostream* out)
+    : options_(options), out_(out), start_(std::chrono::steady_clock::now()) {
+  thread_ = std::thread([this]() { Run(); });
+}
+
+void MetricsSampler::Stop() {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (stopped_) return;
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  thread_.join();
+  // The thread is gone; emit the final sample from here so short runs
+  // always produce at least one line and the series covers the full run.
+  EmitSample();
+  out_->flush();
+  const std::scoped_lock lock(mutex_);
+  stopped_ = true;
+}
+
+std::uint64_t MetricsSampler::SamplesWritten() const {
+  return seq_.load(std::memory_order_relaxed);
+}
+
+void MetricsSampler::Run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    if (wake_.wait_for(lock, options_.period, [this]() { return stopping_; })) {
+      break;
+    }
+    lock.unlock();
+    EmitSample();
+    lock.lock();
+  }
+}
+
+void MetricsSampler::EmitSample() {
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("schema");
+  writer.String("fim-statsline-v1");
+  writer.Key("seq");
+  writer.Number(seq_);
+  writer.Key("elapsed_seconds");
+  writer.Number(elapsed);
+  writer.Key("peak_rss_bytes");
+  writer.Number(static_cast<std::uint64_t>(PeakRss()));
+
+  if (options_.registry != nullptr) {
+    if (!options_.throughput_counter.empty()) {
+      const auto counters = options_.registry->CounterValues();
+      const auto it = counters.find(options_.throughput_counter);
+      const std::uint64_t value = it == counters.end() ? 0 : it->second;
+      const double dt = elapsed - last_sample_seconds_;
+      const double rate =
+          dt > 0.0
+              ? static_cast<double>(value - last_throughput_value_) / dt
+              : 0.0;
+      last_throughput_value_ = value;
+      writer.Key("tx_per_second");
+      writer.Number(rate);
+    }
+    writer.Key("counters");
+    writer.BeginObject();
+    for (const auto& [name, value] : options_.registry->CounterValues()) {
+      writer.Key(name);
+      writer.Number(value);
+    }
+    writer.EndObject();
+    writer.Key("distributions");
+    writer.BeginObject();
+    for (const auto& [name, snapshot] :
+         options_.registry->DistributionValues()) {
+      writer.Key(name);
+      writer.BeginObject();
+      writer.Key("count");
+      writer.Number(snapshot.count);
+      writer.Key("sum");
+      writer.Number(snapshot.sum);
+      writer.Key("min");
+      writer.Number(snapshot.min);
+      writer.Key("max");
+      writer.Number(snapshot.max);
+      writer.Key("mean");
+      writer.Number(snapshot.Mean());
+      writer.Key("p50");
+      writer.Number(snapshot.Quantile(0.50));
+      writer.Key("p95");
+      writer.Number(snapshot.Quantile(0.95));
+      writer.Key("p99");
+      writer.Number(snapshot.Quantile(0.99));
+      writer.EndObject();
+    }
+    writer.EndObject();
+  }
+  writer.EndObject();
+
+  last_sample_seconds_ = elapsed;
+  // One line per sample, flushed immediately so the series is tailable.
+  *out_ << std::move(writer).Take() << '\n';
+  out_->flush();
+  seq_.fetch_add(1, std::memory_order_relaxed);
+
+  if (options_.lane != nullptr) {
+    options_.lane->Instant("sample");
+    options_.lane->Counter(
+        "rss_mib", static_cast<double>(PeakRss()) / (1024.0 * 1024.0));
+  }
+}
+
+}  // namespace fim::obs

@@ -1,0 +1,96 @@
+#ifndef FIM_OBS_SAMPLER_H_
+#define FIM_OBS_SAMPLER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/timeline.h"
+
+namespace fim::obs {
+
+/// Configuration of a MetricsSampler.
+struct MetricsSamplerOptions {
+  /// Time between samples. Must be positive.
+  std::chrono::milliseconds period{1000};
+
+  /// Registry whose counters and distributions go into every sample.
+  /// May be nullptr (the sample then carries only the process fields).
+  /// Must outlive the sampler.
+  const MetricRegistry* registry = nullptr;
+
+  /// Name of a registry counter to derive a rate from (e.g.
+  /// "stream.transactions_ingested"): each sample reports the counter
+  /// delta since the previous sample divided by the elapsed time as
+  /// `tx_per_second`. Empty disables the field.
+  std::string throughput_counter;
+
+  /// Optional timeline lane: every sample additionally records an
+  /// instant event ("sample") and a counter event ("rss_mib") on it, so
+  /// long-running runs show their sampling cadence in the trace. The
+  /// lane must be dedicated to the sampler thread (single-writer).
+  TimelineLane* lane = nullptr;
+};
+
+/// Background metrics sampler for long-running sessions: a thread that
+/// periodically snapshots the registry, the derived ingest throughput
+/// and the process peak RSS into a JSONL time-series, one object per
+/// line (`fim-statsline-v1`):
+///
+///   {"schema":"fim-statsline-v1","seq":0,"elapsed_seconds":1.0,
+///    "peak_rss_bytes":N,"tx_per_second":F,
+///    "counters":{...},"distributions":{"name":{"count":N,"sum":N,
+///    "min":N,"max":N,"mean":F,"p50":F,"p95":F,"p99":F},...}}
+///
+/// Sampling starts on construction. Stop() (or the destructor) wakes the
+/// thread, joins it, and emits one final sample — so even a run shorter
+/// than the period produces at least one line. The output stream is
+/// written only by the sampler thread and, after the join, by Stop();
+/// it must stay valid until Stop() returns and must not be written by
+/// anyone else in between.
+class MetricsSampler {
+ public:
+  MetricsSampler(const MetricsSamplerOptions& options, std::ostream* out);
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  ~MetricsSampler() { Stop(); }
+
+  /// Stops the sampling thread and writes the final sample. Idempotent.
+  void Stop();
+
+  /// Samples written so far (monotone; final value after Stop()).
+  std::uint64_t SamplesWritten() const;
+
+ private:
+  void Run();
+  void EmitSample();
+
+  const MetricsSamplerOptions options_;
+  std::ostream* const out_;
+  const std::chrono::steady_clock::time_point start_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+
+  // Sampler-thread state (touched by Stop() only after the join); the
+  // sequence number is atomic so SamplesWritten can poll it live.
+  std::atomic<std::uint64_t> seq_{0};
+  std::uint64_t last_throughput_value_ = 0;
+  double last_sample_seconds_ = 0.0;
+
+  std::thread thread_;
+};
+
+}  // namespace fim::obs
+
+#endif  // FIM_OBS_SAMPLER_H_

@@ -27,6 +27,8 @@
 #include <utility>
 
 #include "data/binary_io.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
 #include "stream/stream_miner.h"
 
 namespace fim {
@@ -51,6 +53,7 @@ Status Corrupt(const std::string& what) {
 }  // namespace
 
 Status StreamMiner::CheckpointTo(std::ostream& out) {
+  obs::Phase checkpoint_phase(options_.trace, lane_, "checkpoint");
   FrozenState frozen;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -109,7 +112,8 @@ Status StreamMiner::Checkpoint(const std::string& path) {
 }
 
 Result<std::unique_ptr<StreamMiner>> StreamMiner::RestoreFrom(
-    std::istream& in, obs::MetricRegistry* registry) {
+    std::istream& in, obs::MetricRegistry* registry, obs::Trace* trace,
+    obs::Timeline* timeline) {
   const std::streampos begin = in.tellg();
   char magic[4];
   in.read(magic, sizeof(magic));
@@ -234,6 +238,8 @@ Result<std::unique_ptr<StreamMiner>> StreamMiner::RestoreFrom(
   options.window_panes = static_cast<std::size_t>(window_panes);
   options.merge_duplicate_transactions = merge_duplicates != 0;
   options.registry = registry;
+  options.trace = trace;
+  options.timeline = timeline;
   std::unique_ptr<StreamMiner> miner(
       new StreamMiner(options, /*restored=*/true));
   miner->segments_ = std::move(segments);
@@ -266,10 +272,11 @@ Result<std::unique_ptr<StreamMiner>> StreamMiner::RestoreFrom(
 }
 
 Result<std::unique_ptr<StreamMiner>> StreamMiner::Restore(
-    const std::string& path, obs::MetricRegistry* registry) {
+    const std::string& path, obs::MetricRegistry* registry, obs::Trace* trace,
+    obs::Timeline* timeline) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open " + path);
-  return RestoreFrom(in, registry);
+  return RestoreFrom(in, registry, trace, timeline);
 }
 
 }  // namespace fim

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
 
 namespace fim {
 
@@ -40,6 +42,7 @@ StreamMiner::StreamMiner(const StreamMinerOptions& options, bool /*restored*/)
       counter_[i] = &options_.registry->GetCounter(kCounterNames[i]);
     }
   }
+  if (options_.timeline != nullptr) lane_ = options_.timeline->driver();
 }
 
 void StreamMiner::Bump(CounterIndex which, std::uint64_t n) {
@@ -74,6 +77,7 @@ Status StreamMiner::AddTransaction(std::vector<ItemId> items) {
     if (fill_ == options_.pane_size) {
       // The pane is complete (the transaction just ingested is its last):
       // materialize it and advance the window.
+      obs::Phase rotate_phase(options_.trace, lane_, "rotate");
       FlushPendingLocked();
       SealLiveLocked();
       RotateLocked();
@@ -97,6 +101,7 @@ void StreamMiner::SealLiveLocked() {
   segments_.push_back(Segment{
       current_pane_, std::shared_ptr<const IstaPrefixTree>(live_.release())});
   live_ = std::make_unique<IstaPrefixTree>(options_.max_items);
+  if (lane_ != nullptr) lane_->Instant("seal");
 }
 
 void StreamMiner::RotateLocked() {
@@ -120,8 +125,10 @@ Status StreamMiner::Query(Support min_support,
   if (min_support == 0) {
     return Status::InvalidArgument("min_support must be >= 1");
   }
+  obs::Phase query_phase(options_.trace, lane_, "query");
   std::vector<Segment> covered;
   {
+    obs::Phase freeze_phase(options_.trace, lane_, "query-freeze");
     std::lock_guard<std::mutex> lock(mutex_);
     ++counters_.queries;
     Bump(kQueries);
@@ -148,6 +155,7 @@ Status StreamMiner::Query(Support min_support,
   std::vector<Segment> pane_trees;
   std::vector<Install> installs;
   std::uint64_t merges = 0;
+  obs::Phase merge_phase(options_.trace, lane_, "query-merge");
   for (std::size_t i = 0; i < covered.size();) {
     std::size_t j = i + 1;
     while (j < covered.size() && covered[j].pane == covered[i].pane) ++j;
@@ -175,8 +183,10 @@ Status StreamMiner::Query(Support min_support,
     }
     snapshot = combined;
   }
+  merge_phase.End();
 
   {
+    obs::Phase compact_phase(options_.trace, lane_, "query-compact");
     // Install the per-pane merged trees back (compaction): the next
     // query then folds one tree per already-seen pane instead of one per
     // historical seal. Replacement is by segment identity — if ingest
@@ -209,6 +219,7 @@ Status StreamMiner::Query(Support min_support,
     }
   }
 
+  obs::Phase report_phase(options_.trace, lane_, "query-report");
   if (snapshot != nullptr) snapshot->Report(min_support, callback);
   return Status::OK();
 }

@@ -15,6 +15,12 @@
 
 namespace fim {
 
+namespace obs {
+class Timeline;
+class TimelineLane;
+class Trace;
+}  // namespace obs
+
 /// Configuration of a StreamMiner. Two modes:
 ///
 ///  * **Landmark** (`pane_size == 0 && window_panes == 0`): every snapshot
@@ -52,6 +58,21 @@ struct StreamMinerOptions {
   /// maintained as `stream.<name>` counters in this registry. The
   /// registry must outlive the miner.
   obs::MetricRegistry* registry = nullptr;
+
+  /// Optional aggregated phase trace (obs/trace.h): rotate / query
+  /// (query-freeze, query-merge, query-compact, query-report) /
+  /// checkpoint spans. Thread contract: obs::Trace is thread-confined,
+  /// so only set this when a single thread performs every miner call
+  /// (the fim-stream driver does). Output-neutral; must outlive the
+  /// miner.
+  obs::Trace* trace = nullptr;
+
+  /// Optional event timeline (obs/timeline.h): the same phases as
+  /// begin/end events plus "seal" instants on the timeline's driver
+  /// lane. Same single-caller-thread contract as `trace` (each
+  /// TimelineLane is single-writer). Output-neutral; must outlive the
+  /// miner.
+  obs::Timeline* timeline = nullptr;
 };
 
 /// Snapshot of a StreamMiner's execution counters (all cumulative since
@@ -130,12 +151,15 @@ class StreamMiner {
 
   /// Reconstructs a miner from a checkpoint. Corrupted or truncated
   /// input yields a clean InvalidArgument (every embedded tree blob is
-  /// invariant-checked). `registry` plays the role of
-  /// StreamMinerOptions::registry for the restored miner.
+  /// invariant-checked). `registry`, `trace` and `timeline` play the
+  /// role of the corresponding StreamMinerOptions fields for the
+  /// restored miner (same contracts).
   static Result<std::unique_ptr<StreamMiner>> Restore(
-      const std::string& path, obs::MetricRegistry* registry = nullptr);
+      const std::string& path, obs::MetricRegistry* registry = nullptr,
+      obs::Trace* trace = nullptr, obs::Timeline* timeline = nullptr);
   static Result<std::unique_ptr<StreamMiner>> RestoreFrom(
-      std::istream& in, obs::MetricRegistry* registry = nullptr);
+      std::istream& in, obs::MetricRegistry* registry = nullptr,
+      obs::Trace* trace = nullptr, obs::Timeline* timeline = nullptr);
 
   /// Raw transactions ingested so far (including before a checkpoint
   /// restore; duplicates counted individually).
@@ -208,6 +232,10 @@ class StreamMiner {
   void Bump(CounterIndex which, std::uint64_t n = 1);
 
   const StreamMinerOptions options_;
+
+  /// Driver lane of options_.timeline (nullptr without one); only the
+  /// single confined caller thread records on it.
+  obs::TimelineLane* lane_ = nullptr;
 
   mutable std::mutex mutex_;
   std::vector<Segment> segments_;         // sealed, pane non-decreasing

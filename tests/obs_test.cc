@@ -33,6 +33,50 @@ TEST(MetricsTest, CounterBasics) {
   EXPECT_EQ(counter.Value(), 0u);
 }
 
+TEST(MetricsTest, DistributionQuantilesFromHistogram) {
+  obs::Distribution dist;
+  EXPECT_DOUBLE_EQ(dist.Get().Quantile(0.5), 0.0);  // empty
+  // 100 values 1..100: the power-of-two buckets give approximate
+  // percentiles that must stay within the enclosing bucket's range.
+  for (std::uint64_t v = 1; v <= 100; ++v) dist.Record(v);
+  const auto snapshot = dist.Get();
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(0.0), 1.0);    // clamped to min
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(1.0), 100.0);  // clamped to max
+  const double p50 = snapshot.Quantile(0.50);
+  EXPECT_GE(p50, 32.0);  // rank 50.5 falls in bucket [32, 64)
+  EXPECT_LT(p50, 64.0);
+  const double p95 = snapshot.Quantile(0.95);
+  EXPECT_GE(p95, 64.0);  // rank 95 falls in bucket [64, 100]
+  EXPECT_LE(p95, 100.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, snapshot.Quantile(0.99));
+
+  // A single value is every percentile.
+  obs::Distribution one;
+  one.Record(7);
+  EXPECT_DOUBLE_EQ(one.Get().Quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(one.Get().Quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(one.Get().Quantile(1.0), 7.0);
+
+  // Zero lands in its own bucket 0.
+  obs::Distribution zeros;
+  zeros.Record(0);
+  zeros.Record(0);
+  EXPECT_DOUBLE_EQ(zeros.Get().Quantile(0.99), 0.0);
+}
+
+TEST(MetricsTest, DistributionBucketIndexing) {
+  EXPECT_EQ(obs::Distribution::BucketIndex(0), 0u);
+  EXPECT_EQ(obs::Distribution::BucketIndex(1), 1u);
+  EXPECT_EQ(obs::Distribution::BucketIndex(2), 2u);
+  EXPECT_EQ(obs::Distribution::BucketIndex(3), 2u);
+  EXPECT_EQ(obs::Distribution::BucketIndex(4), 3u);
+  EXPECT_EQ(obs::Distribution::BucketIndex(std::uint64_t{1} << 63),
+            obs::Distribution::kNumBuckets - 1);
+  EXPECT_EQ(obs::Distribution::BucketIndex(~std::uint64_t{0}),
+            obs::Distribution::kNumBuckets - 1);
+}
+
 TEST(MetricsTest, DistributionBasics) {
   obs::Distribution dist;
   EXPECT_EQ(dist.Get().count, 0u);
@@ -251,7 +295,7 @@ TEST(ExportTest, JsonReportParsesAndCarriesSchema) {
   auto parsed = obs::ParseJson(obs::RenderStatsJson(report));
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   const obs::JsonValue& value = parsed.value();
-  EXPECT_EQ(value.Find("schema")->AsString(), "fim-stats-v1");
+  EXPECT_EQ(value.Find("schema")->AsString(), "fim-stats-v2");
   EXPECT_EQ(value.Find("tool")->AsString(), "fim-mine");
   EXPECT_EQ(value.Find("algorithm")->AsString(), "ista");
   EXPECT_DOUBLE_EQ(value.Find("min_support")->AsNumber(), 2.0);
@@ -270,6 +314,70 @@ TEST(ExportTest, JsonReportParsesAndCarriesSchema) {
       spans->AsArray()[0].Find("children")->AsArray()[0].Find("name")
           ->AsString(),
       "recode");
+}
+
+TEST(ExportTest, JsonReportEscapesStringLabels) {
+  // Tool/algorithm labels are caller-supplied free-form strings; the
+  // rendered report must stay parseable and round-trip them exactly.
+  obs::StatsReport report;
+  report.tool = "fim \"quoted\" \\ backslash";
+  report.algorithm = "tab\there\nnewline\x01 control";
+  auto parsed = obs::ParseJson(obs::RenderStatsJson(report));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().Find("tool")->AsString(), report.tool);
+  EXPECT_EQ(parsed.value().Find("algorithm")->AsString(), report.algorithm);
+
+  // Same for span names coming out of a trace.
+  obs::Trace trace;
+  { obs::Span span(&trace, "span \"with\" \\ specials\n"); }
+  report.tool = "fim-mine";
+  report.algorithm = "ista";
+  report.trace = &trace;
+  parsed = obs::ParseJson(obs::RenderStatsJson(report));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(
+      parsed.value().Find("spans")->AsArray()[0].Find("name")->AsString(),
+      "span \"with\" \\ specials\n");
+}
+
+TEST(ExportTest, JsonReportCarriesDistributions) {
+  obs::MetricRegistry registry;
+  for (std::uint64_t v = 1; v <= 100; ++v) {
+    registry.GetDistribution("stream.pane_sets").Record(v);
+  }
+  registry.GetDistribution("stream.empty");  // zero count: still listed
+
+  obs::StatsReport report;
+  report.tool = "fim-stream";
+  report.algorithm = "stream-window";
+  report.registry = &registry;
+  auto parsed = obs::ParseJson(obs::RenderStatsJson(report));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::JsonValue* dists = parsed.value().Find("distributions");
+  ASSERT_NE(dists, nullptr);
+  const obs::JsonValue* pane = dists->Find("stream.pane_sets");
+  ASSERT_NE(pane, nullptr);
+  EXPECT_DOUBLE_EQ(pane->Find("count")->AsNumber(), 100.0);
+  EXPECT_DOUBLE_EQ(pane->Find("sum")->AsNumber(), 5050.0);
+  EXPECT_DOUBLE_EQ(pane->Find("min")->AsNumber(), 1.0);
+  EXPECT_DOUBLE_EQ(pane->Find("max")->AsNumber(), 100.0);
+  EXPECT_DOUBLE_EQ(pane->Find("mean")->AsNumber(), 50.5);
+  const double p50 = pane->Find("p50")->AsNumber();
+  const double p95 = pane->Find("p95")->AsNumber();
+  const double p99 = pane->Find("p99")->AsNumber();
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, 100.0);
+  ASSERT_NE(dists->Find("stream.empty"), nullptr);
+  EXPECT_DOUBLE_EQ(dists->Find("stream.empty")->Find("count")->AsNumber(),
+                   0.0);
+
+  // Without a registry there is no distributions section at all.
+  report.registry = nullptr;
+  parsed = obs::ParseJson(obs::RenderStatsJson(report));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().Find("distributions"), nullptr);
 }
 
 TEST(ExportTest, TextReportMentionsNonZeroCountersOnly) {

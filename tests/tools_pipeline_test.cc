@@ -4,8 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 
@@ -25,6 +28,44 @@ std::string TempPath(const std::string& name) {
 }
 
 int RunCmd(const std::string& cmd) { return std::system(cmd.c_str()); }
+
+/// Like RunCmd but decodes the wait status into the child's exit code.
+int ExitCode(const std::string& cmd) {
+  const int status = std::system(cmd.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+/// Parses a Chrome trace file, checks per-tid begin/end balance, and
+/// returns the number of distinct lanes (thread_name metadata events).
+std::size_t CheckChromeTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = obs::ParseJson(buffer.str());
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  if (!parsed.ok()) return 0;
+  const obs::JsonValue& doc = parsed.value();
+  EXPECT_EQ(doc.Find("otherData")->Find("schema")->AsString(),
+            "fim-trace-v1");
+  std::map<double, int> depth;
+  std::map<double, bool> named;
+  for (const obs::JsonValue& event : doc.Find("traceEvents")->AsArray()) {
+    const std::string ph = event.Find("ph")->AsString();
+    const double tid = event.Find("tid")->AsNumber();
+    if (ph == "B") {
+      ++depth[tid];
+    } else if (ph == "E") {
+      EXPECT_GT(depth[tid], 0) << "unmatched E on tid " << tid;
+      --depth[tid];
+    } else if (ph == "M") {
+      named[tid] = true;
+    }
+  }
+  for (const auto& [tid, open] : depth) {
+    EXPECT_EQ(open, 0) << "unclosed begin on tid " << tid;
+  }
+  return named.size();
+}
 
 TEST(ToolsPipelineTest, GenerateMineVerify) {
   const std::string data = TempPath("pipeline_data.fimi");
@@ -214,7 +255,7 @@ TEST(ToolsPipelineTest, StatsJsonValidatesAndLeavesOutputUntouched) {
   ASSERT_FALSE(plain.value().empty());
   EXPECT_TRUE(SameResults(plain.value(), with_stats.value()));
 
-  // The report parses and carries the fim-stats-v1 schema with the full
+  // The report parses and carries the fim-stats-v2 schema with the full
   // counter catalog and the span tree.
   std::ifstream in(stats_json);
   std::stringstream buffer;
@@ -222,7 +263,7 @@ TEST(ToolsPipelineTest, StatsJsonValidatesAndLeavesOutputUntouched) {
   auto parsed = obs::ParseJson(buffer.str());
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   const obs::JsonValue& report = parsed.value();
-  EXPECT_EQ(report.Find("schema")->AsString(), "fim-stats-v1");
+  EXPECT_EQ(report.Find("schema")->AsString(), "fim-stats-v2");
   EXPECT_EQ(report.Find("tool")->AsString(), "fim-mine");
   EXPECT_EQ(report.Find("algorithm")->AsString(), "ista");
   EXPECT_DOUBLE_EQ(report.Find("min_support")->AsNumber(), 5.0);
@@ -272,5 +313,194 @@ TEST(ToolsPipelineTest, BinaryFormatMinesIdentically) {
   EXPECT_TRUE(SameResults(a.value(), b.value()));
   EXPECT_FALSE(a.value().empty());
 }
+TEST(ToolsPipelineTest, TraceOutIsValidMultiLaneChromeTrace) {
+  const std::string data = TempPath("pipeline_trace.fimi");
+  const std::string plain_out = TempPath("pipeline_trace_plain.txt");
+  const std::string traced_out = TempPath("pipeline_trace_result.txt");
+  const std::string trace = TempPath("pipeline_trace.json");
+
+  ASSERT_EQ(RunCmd(std::string(FIM_GEN_BINARY) + " -p basket -c 0.02 -r 41 " +
+                   data + " 2>/dev/null"),
+            0);
+  ASSERT_EQ(RunCmd(std::string(FIM_MINE_BINARY) + " -q -s 5 -t 4 " + data +
+                   " " + plain_out),
+            0);
+  ASSERT_EQ(RunCmd(std::string(FIM_MINE_BINARY) + " -q -s 5 -t 4 " +
+                   "--trace-out=" + trace + " " + data + " " + traced_out),
+            0);
+
+  // Output neutrality end to end: tracing never changes the result.
+  auto plain = ReadClosedSetsFile(plain_out);
+  auto traced = ReadClosedSetsFile(traced_out);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(traced.ok());
+  ASSERT_FALSE(plain.value().empty());
+  EXPECT_TRUE(SameResults(plain.value(), traced.value()));
+
+  // A 4-thread run fans into worker/merge lanes: more than one tid.
+  EXPECT_GT(CheckChromeTraceFile(trace), 1u);
+}
+
+TEST(ToolsPipelineTest, StreamTraceStatsAndSamplerOutputs) {
+  const std::string data = TempPath("pipeline_stream_obs.fimi");
+  const std::string plain_out = TempPath("pipeline_stream_obs_plain.txt");
+  const std::string obs_out = TempPath("pipeline_stream_obs_result.txt");
+  const std::string trace = TempPath("pipeline_stream_obs_trace.json");
+  const std::string samples = TempPath("pipeline_stream_obs_samples.jsonl");
+  const std::string stats = TempPath("pipeline_stream_obs_stats.json");
+
+  ASSERT_EQ(RunCmd(std::string(FIM_GEN_BINARY) + " -p basket -c 0.02 -r 43 " +
+                   data + " 2>/dev/null"),
+            0);
+  const std::string stream_args = " -q -s 5 --pane=25 --window=3 ";
+  ASSERT_EQ(RunCmd(std::string(FIM_STREAM_BINARY) + stream_args + data + " " +
+                   plain_out + " 2>/dev/null"),
+            0);
+  ASSERT_EQ(RunCmd(std::string(FIM_STREAM_BINARY) + stream_args +
+                   "--stats=json --stats-out=" + stats +
+                   " --trace-out=" + trace + " --sample-every=5 " +
+                   "--sample-out=" + samples + " " + data + " " + obs_out +
+                   " 2>/dev/null"),
+            0);
+
+  // Output neutrality end to end.
+  auto plain = ReadClosedSetsFile(plain_out);
+  auto observed = ReadClosedSetsFile(obs_out);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(observed.ok());
+  EXPECT_TRUE(SameResults(plain.value(), observed.value()));
+
+  // Trace: the sampler lane joins the main lane, so two tids minimum.
+  EXPECT_GE(CheckChromeTraceFile(trace), 2u);
+
+  // Sampler JSONL: at least the final sample, every line parseable.
+  std::ifstream sample_in(samples);
+  std::string line;
+  std::size_t sample_lines = 0;
+  while (std::getline(sample_in, line)) {
+    auto parsed = obs::ParseJson(line);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << ": " << line;
+    EXPECT_EQ(parsed.value().Find("schema")->AsString(), "fim-statsline-v1");
+    ASSERT_NE(parsed.value().Find("counters"), nullptr);
+    ++sample_lines;
+  }
+  EXPECT_GE(sample_lines, 1u);
+
+  // Stats report: fim-stats-v2 with the stream counters and the miner's
+  // phase spans.
+  std::ifstream stats_in(stats);
+  std::stringstream buffer;
+  buffer << stats_in.rdbuf();
+  auto report = obs::ParseJson(buffer.str());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().Find("schema")->AsString(), "fim-stats-v2");
+  EXPECT_EQ(report.value().Find("tool")->AsString(), "fim-stream");
+  const obs::JsonValue* counters = report.value().Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GT(counters->Find("stream.transactions_ingested")->AsNumber(), 0.0);
+  const obs::JsonValue* spans = report.value().Find("spans");
+  ASSERT_NE(spans, nullptr);
+  bool saw_rotate = false;
+  bool saw_query = false;
+  for (const auto& span : spans->AsArray()) {
+    if (span.Find("name")->AsString() == "rotate") saw_rotate = true;
+    if (span.Find("name")->AsString() == "query") saw_query = true;
+  }
+  EXPECT_TRUE(saw_rotate);
+  EXPECT_TRUE(saw_query);
+}
+
+TEST(ToolsPipelineTest, VerifyWritesStatsAndTraceFiles) {
+  const std::string data = TempPath("pipeline_vobs.fimi");
+  const std::string good = TempPath("pipeline_vobs_good.txt");
+  const std::string stats = TempPath("pipeline_vobs_stats.json");
+  const std::string trace = TempPath("pipeline_vobs_trace.json");
+
+  ASSERT_EQ(RunCmd(std::string(FIM_GEN_BINARY) + " -p basket -c 0.02 -r 45 " +
+                   data + " 2>/dev/null"),
+            0);
+  ASSERT_EQ(RunCmd(std::string(FIM_MINE_BINARY) + " -q -s 6 " + data + " " +
+                   good),
+            0);
+  ASSERT_EQ(RunCmd(std::string(FIM_VERIFY_BINARY) + " -s 6 --stats=json " +
+                   "--stats-out=" + stats + " --trace-out=" + trace + " " +
+                   data + " " + good + " 2>/dev/null"),
+            0);
+
+  std::ifstream in(stats);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto report = obs::ParseJson(buffer.str());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().Find("schema")->AsString(), "fim-stats-v2");
+  EXPECT_EQ(report.value().Find("tool")->AsString(), "fim-verify");
+  EXPECT_GE(CheckChromeTraceFile(trace), 1u);
+}
+
+TEST(ToolsPipelineTest, StatsDiffGatesRegressions) {
+  const std::string baseline = TempPath("pipeline_diff_base.json");
+  const std::string same = TempPath("pipeline_diff_same.json");
+  const std::string regressed = TempPath("pipeline_diff_regressed.json");
+  const std::string fewer_sets = TempPath("pipeline_diff_sets.json");
+  const std::string missing = TempPath("pipeline_diff_missing.json");
+
+  auto write = [](const std::string& path, const std::string& body) {
+    std::ofstream out(path);
+    out << body;
+  };
+  write(baseline,
+        R"({"schema":"fim-stats-v2","tool":"fim-mine","algorithm":"ista",)"
+        R"("num_sets":42,"counters":{"isect_steps":100,"merge_calls":3}})");
+  write(same,
+        R"({"schema":"fim-stats-v2","tool":"fim-mine","algorithm":"ista",)"
+        R"("num_sets":42,"counters":{"isect_steps":100,"merge_calls":3}})");
+  write(regressed,
+        R"({"schema":"fim-stats-v2","tool":"fim-mine","algorithm":"ista",)"
+        R"("num_sets":42,"counters":{"isect_steps":200,"merge_calls":3}})");
+  write(fewer_sets,
+        R"({"schema":"fim-stats-v2","tool":"fim-mine","algorithm":"ista",)"
+        R"("num_sets":41,"counters":{"isect_steps":100,"merge_calls":3}})");
+  write(missing,
+        R"({"schema":"fim-stats-v2","tool":"fim-mine","algorithm":"ista",)"
+        R"("num_sets":42,"counters":{"merge_calls":3}})");
+
+  const std::string diff = std::string(FIM_STATS_DIFF_BINARY) + " ";
+  // Identical reports pass.
+  EXPECT_EQ(ExitCode(diff + baseline + " " + same + " 2>/dev/null"), 0);
+  // An injected counter regression fails...
+  EXPECT_EQ(ExitCode(diff + baseline + " " + regressed + " 2>/dev/null"), 1);
+  // ...unless the tolerance covers the +100% increase.
+  EXPECT_EQ(ExitCode(diff + "--rel-tol=1.5 " + baseline + " " + regressed +
+                     " 2>/dev/null"),
+            0);
+  // num_sets is an output cardinality: any change fails, in any
+  // direction, regardless of tolerance.
+  EXPECT_EQ(ExitCode(diff + "--rel-tol=9 --abs-tol=9 " + baseline + " " +
+                     fewer_sets + " 2>/dev/null"),
+            1);
+  // A vanished counter is a structure mismatch even in structure-only
+  // mode; unreadable input is a usage/parse error (exit 2).
+  EXPECT_EQ(ExitCode(diff + "--structure-only " + baseline + " " + missing +
+                     " 2>/dev/null"),
+            1);
+  EXPECT_EQ(ExitCode(diff + baseline + " " + baseline + ".nope 2>/dev/null"),
+            2);
+
+  // End to end: a real fim-mine report diffed against itself passes,
+  // including the timing fields.
+  const std::string data = TempPath("pipeline_diff.fimi");
+  const std::string result = TempPath("pipeline_diff_result.txt");
+  const std::string report = TempPath("pipeline_diff_report.json");
+  ASSERT_EQ(RunCmd(std::string(FIM_GEN_BINARY) + " -p basket -c 0.02 -r 47 " +
+                   data + " 2>/dev/null"),
+            0);
+  ASSERT_EQ(RunCmd(std::string(FIM_MINE_BINARY) + " -q -s 5 --stats=json " +
+                   "--stats-out=" + report + " " + data + " " + result),
+            0);
+  EXPECT_EQ(ExitCode(diff + "--time " + report + " " + report +
+                     " 2>/dev/null"),
+            0);
+}
+
 }  // namespace
 }  // namespace fim

@@ -3,7 +3,8 @@
 // programs.
 //
 //   fim-mine [-a algorithm] [-s minsupp | -S percent] [-t threads] [-m] [-q]
-//            [--stats[=text|json]] [--stats-out=PATH] input [output]
+//            [--stats[=text|json]] [--stats-out=PATH] [--trace-out=PATH]
+//            input [output]
 //
 //   -a NAME   ista | carpenter-lists | carpenter-table | flat-cumulative |
 //             fpclose | lcm | charm | transposed | cobbler (default: ista)
@@ -20,18 +21,24 @@
 //             --stats-out is given, so the result output is unchanged.
 //   --stats-out=PATH
 //             write the stats report to PATH instead of stderr
+//   --trace-out=PATH
+//             record a per-thread event timeline (driver phases plus one
+//             lane per IsTa shard/merge/recode worker) and write it as
+//             Chrome trace-event JSON to PATH — load in chrome://tracing
+//             or https://ui.perfetto.dev
 //   input     transaction file, FIMI text or FIMB binary (auto-detected)
 //   output    result file; "-" or absent: stdout
 //
 // Output lines: the items of a set separated by spaces, followed by the
 // absolute support in parentheses, e.g. "3 17 42 (57)". The mined output
-// is bit-identical with and without --stats.
+// is bit-identical with and without --stats / --trace-out.
 
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "api/miner.h"
@@ -40,8 +47,10 @@
 #include "data/fimi_io.h"
 #include "data/stats.h"
 #include "obs/export.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "rules/derive.h"
+#include "tool_flags.h"
 
 namespace {
 
@@ -49,10 +58,8 @@ void Usage() {
   std::fprintf(stderr,
                "usage: fim-mine [-a algorithm] [-s minsupp | -S percent] "
                "[-t threads] [-m] [-q] [--stats[=text|json]] "
-               "[--stats-out=PATH] input [output]\n");
+               "[--stats-out=PATH] [--trace-out=PATH] input [output]\n");
 }
-
-enum class StatsFormat { kNone, kText, kJson };
 
 }  // namespace
 
@@ -65,8 +72,7 @@ int main(int argc, char** argv) {
   unsigned num_threads = 1;
   bool maximal_only = false;
   bool quiet = false;
-  StatsFormat stats_format = StatsFormat::kNone;
-  std::string stats_out;
+  tools::ObsFlags obs_flags;
   std::string input;
   std::string output = "-";
 
@@ -102,13 +108,8 @@ int main(int argc, char** argv) {
       maximal_only = true;
     } else if (std::strcmp(arg, "-q") == 0) {
       quiet = true;
-    } else if (std::strcmp(arg, "--stats") == 0 ||
-               std::strcmp(arg, "--stats=text") == 0) {
-      stats_format = StatsFormat::kText;
-    } else if (std::strcmp(arg, "--stats=json") == 0) {
-      stats_format = StatsFormat::kJson;
-    } else if (std::strncmp(arg, "--stats-out=", 12) == 0) {
-      stats_out = arg + 12;
+    } else if (obs_flags.Parse(arg)) {
+      // one of --stats / --stats-out / --trace-out
     } else if (std::strcmp(arg, "-h") == 0 ||
                std::strcmp(arg, "--help") == 0) {
       Usage();
@@ -129,18 +130,16 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (stats_format == StatsFormat::kNone && !stats_out.empty()) {
-    stats_format = StatsFormat::kText;  // --stats-out alone implies --stats
-  }
+  obs_flags.Finish();
 
   WallTimer total;
   CpuTimer total_cpu;
   obs::Trace trace_storage;
-  obs::Trace* trace =
-      stats_format != StatsFormat::kNone ? &trace_storage : nullptr;
+  obs::Trace* trace = obs_flags.WantStats() ? &trace_storage : nullptr;
   MinerStats miner_stats;
-  MinerStats* stats =
-      stats_format != StatsFormat::kNone ? &miner_stats : nullptr;
+  MinerStats* stats = obs_flags.WantStats() ? &miner_stats : nullptr;
+  std::unique_ptr<obs::Timeline> timeline;
+  if (obs_flags.WantTrace()) timeline = std::make_unique<obs::Timeline>();
 
   obs::Span load_span(trace, "load");
   auto loaded = ReadDatabaseFile(input);
@@ -166,6 +165,7 @@ int main(int argc, char** argv) {
   options.algorithm = algorithm;
   options.min_support = min_support;
   options.num_threads = num_threads;
+  options.timeline = timeline.get();
 
   std::ofstream file_out;
   std::ostream* out = &std::cout;
@@ -216,7 +216,15 @@ int main(int argc, char** argv) {
                  total.Seconds());
   }
 
-  if (stats_format != StatsFormat::kNone) {
+  if (timeline != nullptr) {
+    obs::TraceMeta meta;
+    meta.tool = "fim-mine";
+    meta.algorithm = AlgorithmName(algorithm);
+    if (int rc = tools::EmitChromeTrace(obs_flags, *timeline, meta); rc != 0) {
+      return rc;
+    }
+  }
+  if (obs_flags.WantStats()) {
     obs::StatsReport report;
     report.tool = "fim-mine";
     report.algorithm = AlgorithmName(algorithm);
@@ -228,19 +236,8 @@ int main(int argc, char** argv) {
     report.peak_rss_bytes = PeakRss();
     report.miner = miner_stats;
     report.trace = &trace_storage;
-    const std::string rendered = stats_format == StatsFormat::kJson
-                                     ? obs::RenderStatsJson(report)
-                                     : obs::RenderStatsText(report);
-    if (stats_out.empty()) {
-      std::fputs(rendered.c_str(), stderr);
-    } else {
-      std::ofstream stats_file(stats_out, std::ios::trunc);
-      if (!stats_file) {
-        std::fprintf(stderr, "error: cannot open %s for writing\n",
-                     stats_out.c_str());
-        return 1;
-      }
-      stats_file << rendered;
+    if (int rc = tools::EmitStatsReport(obs_flags, report); rc != 0) {
+      return rc;
     }
   }
   return 0;

@@ -6,7 +6,8 @@
 //   fim-stream [-s minsupp] [--pane=N --window=W] [--query-every=N]
 //              [--checkpoint=PATH] [--checkpoint-every=N] [--resume=PATH]
 //              [--max-items=N] [-q] [--stats[=text|json]]
-//              [--stats-out=PATH] [input [output]]
+//              [--stats-out=PATH] [--trace-out=PATH] [--sample-every=MS]
+//              [--sample-out=PATH] [input [output]]
 //
 //   -s N        minimum support of every snapshot query (default: 2)
 //   --pane=N    transactions per tumbling pane (sliding-window mode;
@@ -35,7 +36,19 @@
 //   -q          quiet: no progress line on stderr
 //   --stats[=text|json], --stats-out=PATH
 //               emit an execution-statistics report including the
-//               stream.* counters (see docs/OBSERVABILITY.md)
+//               stream.* counters and the miner's phase spans (rotate,
+//               query, checkpoint; see docs/OBSERVABILITY.md)
+//   --trace-out=PATH
+//               record the miner's event timeline (ingest rotations,
+//               seals, query sub-phases, checkpoints, plus the sampler's
+//               lane) and write Chrome trace-event JSON to PATH
+//   --sample-every=MS
+//               run a background metrics sampler: every MS milliseconds
+//               (and once at shutdown) append one fim-statsline-v1 JSON
+//               line — registry counters, tx/s throughput, peak RSS —
+//               to --sample-out (default: stderr)
+//   --sample-out=PATH
+//               destination of the sampler's JSONL time-series
 //   input       FIMI text file; "-" or absent: stdin (line-buffered —
 //               suitable for live piping)
 //   output      snapshot destination; "-" or absent: stdout
@@ -44,6 +57,7 @@
 // format ("3 17 42 (57)" lines), so `fim-stream -s N input` on a finite
 // file produces the same sets as `fim-mine -s N input` in landmark mode.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -58,7 +72,11 @@
 #include "data/itemset.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
 #include "stream/stream_miner.h"
+#include "tool_flags.h"
 
 namespace {
 
@@ -68,10 +86,9 @@ void Usage() {
       "usage: fim-stream [-s minsupp] [--pane=N --window=W] "
       "[--query-every=N] [--checkpoint=PATH] [--checkpoint-every=N] "
       "[--resume=PATH] [--max-items=N] [-q] [--stats[=text|json]] "
-      "[--stats-out=PATH] [input [output]]\n");
+      "[--stats-out=PATH] [--trace-out=PATH] [--sample-every=MS] "
+      "[--sample-out=PATH] [input [output]]\n");
 }
-
-enum class StatsFormat { kNone, kText, kJson };
 
 struct Args {
   fim::Support min_support = 2;
@@ -83,8 +100,9 @@ struct Args {
   std::string resume_path;
   std::size_t max_items = std::size_t{1} << 20;
   bool quiet = false;
-  StatsFormat stats_format = StatsFormat::kNone;
-  std::string stats_out;
+  fim::tools::ObsFlags obs;
+  std::uint64_t sample_every_ms = 0;
+  std::string sample_out;
   std::string input = "-";
   std::string output = "-";
 };
@@ -121,13 +139,12 @@ int ParseArgs(int argc, char** argv, Args* args) {
       args->max_items = static_cast<std::size_t>(std::atoll(arg + 12));
     } else if (std::strcmp(arg, "-q") == 0) {
       args->quiet = true;
-    } else if (std::strcmp(arg, "--stats") == 0 ||
-               std::strcmp(arg, "--stats=text") == 0) {
-      args->stats_format = StatsFormat::kText;
-    } else if (std::strcmp(arg, "--stats=json") == 0) {
-      args->stats_format = StatsFormat::kJson;
-    } else if (std::strncmp(arg, "--stats-out=", 12) == 0) {
-      args->stats_out = arg + 12;
+    } else if (args->obs.Parse(arg)) {
+      // one of --stats / --stats-out / --trace-out
+    } else if (std::strncmp(arg, "--sample-every=", 15) == 0) {
+      args->sample_every_ms = static_cast<std::uint64_t>(std::atoll(arg + 15));
+    } else if (std::strncmp(arg, "--sample-out=", 13) == 0) {
+      args->sample_out = arg + 13;
     } else if (std::strcmp(arg, "-h") == 0 ||
                std::strcmp(arg, "--help") == 0) {
       Usage();
@@ -152,8 +169,10 @@ int ParseArgs(int argc, char** argv, Args* args) {
     std::fprintf(stderr, "error: -s and --max-items must be >= 1\n");
     return 2;
   }
-  if (args->stats_format == StatsFormat::kNone && !args->stats_out.empty()) {
-    args->stats_format = StatsFormat::kText;  // --stats-out implies --stats
+  args->obs.Finish();
+  if (!args->sample_out.empty() && args->sample_every_ms == 0) {
+    std::fprintf(stderr, "error: --sample-out needs --sample-every=MS\n");
+    return 2;
   }
   if (args->checkpoint_every > 0 && args->checkpoint_path.empty()) {
     std::fprintf(stderr,
@@ -164,7 +183,8 @@ int ParseArgs(int argc, char** argv, Args* args) {
 }
 
 int EmitStats(const Args& args, fim::StreamMiner& miner,
-              const fim::obs::MetricRegistry& registry, std::size_t num_sets,
+              const fim::obs::MetricRegistry& registry,
+              const fim::obs::Trace* trace, std::size_t num_sets,
               double wall_seconds, double cpu_seconds) {
   fim::obs::StatsReport report;
   report.tool = "fim-stream";
@@ -177,21 +197,8 @@ int EmitStats(const Args& args, fim::StreamMiner& miner,
   report.cpu_seconds = cpu_seconds;
   report.peak_rss_bytes = fim::PeakRss();
   report.registry = &registry;
-  const std::string rendered = args.stats_format == StatsFormat::kJson
-                                   ? fim::obs::RenderStatsJson(report)
-                                   : fim::obs::RenderStatsText(report);
-  if (args.stats_out.empty()) {
-    std::fputs(rendered.c_str(), stderr);
-    return 0;
-  }
-  std::ofstream stats_file(args.stats_out, std::ios::trunc);
-  if (!stats_file) {
-    std::fprintf(stderr, "error: cannot open %s for writing\n",
-                 args.stats_out.c_str());
-    return 1;
-  }
-  stats_file << rendered;
-  return 0;
+  report.trace = trace;
+  return fim::tools::EmitStatsReport(args.obs, report);
 }
 
 /// Parses one FIMI line into items. Returns false for blank/comment
@@ -264,10 +271,15 @@ int main(int argc, char** argv) {
   WallTimer total;
   CpuTimer total_cpu;
   obs::MetricRegistry registry;
+  obs::Trace trace_storage;
+  obs::Trace* trace = args.obs.WantStats() ? &trace_storage : nullptr;
+  std::unique_ptr<obs::Timeline> timeline;
+  if (args.obs.WantTrace()) timeline = std::make_unique<obs::Timeline>();
 
   std::unique_ptr<StreamMiner> miner;
   if (!args.resume_path.empty()) {
-    auto restored = StreamMiner::Restore(args.resume_path, &registry);
+    auto restored = StreamMiner::Restore(args.resume_path, &registry, trace,
+                                         timeline.get());
     if (!restored.ok()) {
       std::fprintf(stderr, "error restoring %s: %s\n",
                    args.resume_path.c_str(),
@@ -286,7 +298,36 @@ int main(int argc, char** argv) {
     options.pane_size = args.pane_size;
     options.window_panes = args.window_panes;
     options.registry = &registry;
+    options.trace = trace;
+    options.timeline = timeline.get();
     miner = std::make_unique<StreamMiner>(options);
+  }
+
+  // Background metrics sampler (--sample-every): one fim-statsline-v1
+  // JSON line per period plus a final one at Stop(). The sampler thread
+  // records on its own timeline lane, never on the driver's.
+  std::ofstream sample_file;
+  std::unique_ptr<obs::MetricsSampler> sampler;
+  if (args.sample_every_ms > 0) {
+    std::ostream* sample_stream = &std::cerr;
+    if (!args.sample_out.empty()) {
+      sample_file.open(args.sample_out, std::ios::trunc);
+      if (!sample_file) {
+        std::fprintf(stderr, "error: cannot open %s for writing\n",
+                     args.sample_out.c_str());
+        return 1;
+      }
+      sample_stream = &sample_file;
+    }
+    obs::MetricsSamplerOptions sampler_options;
+    sampler_options.period =
+        std::chrono::milliseconds(args.sample_every_ms);
+    sampler_options.registry = &registry;
+    sampler_options.throughput_counter = "stream.transactions_ingested";
+    sampler_options.lane =
+        timeline != nullptr ? timeline->AddLane("sampler") : nullptr;
+    sampler =
+        std::make_unique<obs::MetricsSampler>(sampler_options, sample_stream);
   }
 
   std::ifstream file_in;
@@ -370,6 +411,21 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Quiesce the sampler before exporting: its final sample lands in the
+  // JSONL series and its lane stops receiving events, so the trace
+  // snapshot below observes a fully written timeline.
+  if (sampler != nullptr) sampler->Stop();
+
+  if (timeline != nullptr) {
+    obs::TraceMeta meta;
+    meta.tool = "fim-stream";
+    meta.algorithm =
+        miner->options().pane_size > 0 ? "stream-window" : "stream-landmark";
+    if (int rc = tools::EmitChromeTrace(args.obs, *timeline, meta); rc != 0) {
+      return rc;
+    }
+  }
+
   const StreamStats stream_stats = miner->Stats();
   if (!args.quiet) {
     std::fprintf(
@@ -381,8 +437,8 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stream_stats.panes_rotated),
         num_sets, args.min_support, miner->NodeCount(), total.Seconds());
   }
-  if (args.stats_format != StatsFormat::kNone) {
-    return EmitStats(args, *miner, registry, num_sets, total.Seconds(),
+  if (args.obs.WantStats()) {
+    return EmitStats(args, *miner, registry, trace, num_sets, total.Seconds(),
                      total_cpu.Seconds());
   }
   return 0;

@@ -3,12 +3,15 @@
 // completeness against this library's reference miner. Intended for
 // validating external miner implementations (FIMI-contest style).
 //
-//   fim-verify [-s minsupp] [--stats[=text|json]] data.fimi result.txt
+//   fim-verify [-s minsupp] [--stats[=text|json]] [--stats-out=PATH]
+//              [--trace-out=PATH] data.fimi result.txt
 //   fim-verify --self-check [-s minsupp] data.fimi
 //
 // --stats emits the reference miner's execution-statistics report (see
-// docs/OBSERVABILITY.md) on stderr after verification; the verdict and
-// exit code are unaffected.
+// docs/OBSERVABILITY.md) on stderr — or to PATH with --stats-out — after
+// verification; --trace-out additionally records the reference run's
+// event timeline as Chrome trace-event JSON. The verdict and exit code
+// are unaffected by any of them.
 //
 // --self-check feeds the database through the library's core data
 // structures (IsTa prefix tree, Carpenter occurrence matrix and duplicate
@@ -21,6 +24,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -34,6 +38,8 @@
 #include "data/result_io.h"
 #include "ista/prefix_tree.h"
 #include "obs/export.h"
+#include "obs/timeline.h"
+#include "tool_flags.h"
 #include "verify/closedness.h"
 #include "verify/compare.h"
 
@@ -42,7 +48,7 @@ namespace {
 void Usage() {
   std::fprintf(stderr,
                "usage: fim-verify [-s minsupp] [--stats[=text|json]] "
-               "data.fimi result\n"
+               "[--stats-out=PATH] [--trace-out=PATH] data.fimi result\n"
                "       fim-verify --self-check [-s minsupp] data.fimi\n");
 }
 
@@ -117,18 +123,14 @@ int main(int argc, char** argv) {
   std::string data_path;
   std::string result_path;
   bool self_check = false;
-  bool stats_text = false;
-  bool stats_json = false;
+  tools::ObsFlags obs_flags;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--self-check") == 0) {
       self_check = true;
-    } else if (std::strcmp(arg, "--stats") == 0 ||
-               std::strcmp(arg, "--stats=text") == 0) {
-      stats_text = true;
-    } else if (std::strcmp(arg, "--stats=json") == 0) {
-      stats_json = true;
+    } else if (obs_flags.Parse(arg)) {
+      // one of --stats / --stats-out / --trace-out
     } else if (std::strcmp(arg, "-s") == 0) {
       if (i + 1 >= argc) {
         Usage();
@@ -155,6 +157,7 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
+  obs_flags.Finish();
 
   auto db = ReadDatabaseFile(data_path);
   if (!db.ok()) {
@@ -182,7 +185,10 @@ int main(int argc, char** argv) {
   // Completeness: compare against the reference miner.
   MinerOptions options;
   options.min_support = min_support;
-  const bool want_stats = stats_text || stats_json;
+  const bool want_stats = obs_flags.WantStats();
+  std::unique_ptr<obs::Timeline> timeline;
+  if (obs_flags.WantTrace()) timeline = std::make_unique<obs::Timeline>();
+  options.timeline = timeline.get();
   WallTimer mine_wall;
   CpuTimer mine_cpu;
   MinerStats miner_stats;
@@ -194,6 +200,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "reference mining failed: %s\n",
                  expected.status().ToString().c_str());
     return 1;
+  }
+  if (timeline != nullptr) {
+    obs::TraceMeta meta;
+    meta.tool = "fim-verify";
+    meta.algorithm = AlgorithmName(options.algorithm);
+    if (int rc = tools::EmitChromeTrace(obs_flags, *timeline, meta); rc != 0) {
+      return rc;
+    }
   }
   if (want_stats) {
     obs::StatsReport report;
@@ -207,9 +221,9 @@ int main(int argc, char** argv) {
     report.peak_rss_bytes = PeakRss();
     report.miner = miner_stats;
     report.trace = &trace;
-    const std::string rendered = stats_json ? obs::RenderStatsJson(report)
-                                            : obs::RenderStatsText(report);
-    std::fputs(rendered.c_str(), stderr);
+    if (int rc = tools::EmitStatsReport(obs_flags, report); rc != 0) {
+      return rc;
+    }
   }
   if (!SameResults(expected.value(), claimed.value())) {
     std::fprintf(stderr, "COMPLETENESS FAILURE:\n%s",

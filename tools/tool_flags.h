@@ -1,0 +1,109 @@
+#ifndef FIM_TOOLS_TOOL_FLAGS_H_
+#define FIM_TOOLS_TOOL_FLAGS_H_
+
+// Shared command-line plumbing of the fim-* tools: the observability
+// flags behave identically everywhere they exist —
+//
+//   --stats[=text|json]   emit an execution-statistics report
+//   --stats-out=PATH      write the stats report to PATH instead of
+//                         stderr (implies --stats)
+//   --trace-out=PATH      write a Chrome trace-event JSON timeline
+//                         (fim-trace-v1; load in chrome://tracing or
+//                         https://ui.perfetto.dev)
+//
+// Tools parse them through ObsFlags::Parse and render through
+// EmitStatsReport / EmitChromeTrace so the behaviour cannot drift apart.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "common/status.h"
+#include "obs/export.h"
+#include "obs/timeline.h"
+
+namespace fim::tools {
+
+enum class StatsFormat { kNone, kText, kJson };
+
+struct ObsFlags {
+  StatsFormat stats_format = StatsFormat::kNone;
+  std::string stats_out;
+  std::string trace_out;
+
+  bool WantStats() const { return stats_format != StatsFormat::kNone; }
+  bool WantTrace() const { return !trace_out.empty(); }
+
+  /// Consumes `arg` when it is one of the observability flags.
+  bool Parse(const char* arg) {
+    if (std::strcmp(arg, "--stats") == 0 ||
+        std::strcmp(arg, "--stats=text") == 0) {
+      stats_format = StatsFormat::kText;
+      return true;
+    }
+    if (std::strcmp(arg, "--stats=json") == 0) {
+      stats_format = StatsFormat::kJson;
+      return true;
+    }
+    if (std::strncmp(arg, "--stats-out=", 12) == 0) {
+      stats_out = arg + 12;
+      return true;
+    }
+    if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      trace_out = arg + 12;
+      return true;
+    }
+    return false;
+  }
+
+  /// Call once after the argument loop: --stats-out alone implies
+  /// --stats (text).
+  void Finish() {
+    if (stats_format == StatsFormat::kNone && !stats_out.empty()) {
+      stats_format = StatsFormat::kText;
+    }
+  }
+};
+
+/// Renders `report` in the selected format and writes it to stderr or
+/// `flags.stats_out`. Returns 0, or 1 when the output file cannot be
+/// written.
+inline int EmitStatsReport(const ObsFlags& flags,
+                           const obs::StatsReport& report) {
+  const std::string rendered = flags.stats_format == StatsFormat::kJson
+                                   ? obs::RenderStatsJson(report)
+                                   : obs::RenderStatsText(report);
+  if (flags.stats_out.empty()) {
+    std::fputs(rendered.c_str(), stderr);
+    return 0;
+  }
+  std::ofstream stats_file(flags.stats_out, std::ios::trunc);
+  if (!stats_file) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n",
+                 flags.stats_out.c_str());
+    return 1;
+  }
+  stats_file << rendered;
+  return 0;
+}
+
+/// Writes the Chrome-trace export to `flags.trace_out`; a no-op without
+/// --trace-out. Returns 0, or 1 when the file cannot be written.
+inline int EmitChromeTrace(const ObsFlags& flags,
+                           const obs::Timeline& timeline,
+                           const obs::TraceMeta& meta) {
+  if (flags.trace_out.empty()) return 0;
+  const Status status =
+      obs::WriteChromeTraceFile(timeline, meta, flags.trace_out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error writing trace %s: %s\n",
+                 flags.trace_out.c_str(), status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace fim::tools
+
+#endif  // FIM_TOOLS_TOOL_FLAGS_H_
