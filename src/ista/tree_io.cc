@@ -25,10 +25,13 @@ namespace {
 constexpr char kTreeMagic[4] = {'F', 'I', 'M', 'T'};
 constexpr uint32_t kTreeVersion = 1;
 
-/// Upper bound on a plausible item universe: ItemId is 32-bit, and a
-/// corrupt header must not drive a multi-gigabyte allocation before the
-/// blob is validated.
-constexpr uint64_t kMaxSerializedItems = uint64_t{1} << 31;
+/// Upper bound on a plausible item universe. Deserializing allocates one
+/// transaction-flag byte per item before any node is validated, so this
+/// bound is what keeps a corrupt (or fuzzed) header from driving a
+/// multi-gigabyte allocation: 16M items caps that buffer at 16 MB while
+/// staying two orders of magnitude above the largest real dataset
+/// (webview, ~1M items).
+constexpr uint64_t kMaxSerializedItems = uint64_t{1} << 24;
 
 using io::ReadPod;
 using io::WritePod;

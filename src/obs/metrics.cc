@@ -33,7 +33,7 @@ double Distribution::Snapshot::Quantile(double q) const {
 }
 
 Counter& MetricRegistry::GetCounter(std::string_view name) {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -43,7 +43,7 @@ Counter& MetricRegistry::GetCounter(std::string_view name) {
 }
 
 Distribution& MetricRegistry::GetDistribution(std::string_view name) {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   auto it = distributions_.find(name);
   if (it == distributions_.end()) {
     it = distributions_
@@ -54,7 +54,7 @@ Distribution& MetricRegistry::GetDistribution(std::string_view name) {
 }
 
 std::map<std::string, std::uint64_t> MetricRegistry::CounterValues() const {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   std::map<std::string, std::uint64_t> values;
   for (const auto& [name, counter] : counters_) {
     values.emplace(name, counter->Value());
@@ -64,7 +64,7 @@ std::map<std::string, std::uint64_t> MetricRegistry::CounterValues() const {
 
 std::map<std::string, Distribution::Snapshot>
 MetricRegistry::DistributionValues() const {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   std::map<std::string, Distribution::Snapshot> values;
   for (const auto& [name, distribution] : distributions_) {
     values.emplace(name, distribution->Get());
@@ -73,7 +73,7 @@ MetricRegistry::DistributionValues() const {
 }
 
 void MetricRegistry::Reset() {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, distribution] : distributions_) distribution->Reset();
 }

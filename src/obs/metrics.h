@@ -7,9 +7,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "common/sync.h"
 
 namespace fim::obs {
 
@@ -152,24 +153,29 @@ class MetricRegistry {
   MetricRegistry& operator=(const MetricRegistry&) = delete;
 
   /// Finds or creates the counter / distribution with `name`.
-  Counter& GetCounter(std::string_view name);
-  Distribution& GetDistribution(std::string_view name);
+  Counter& GetCounter(std::string_view name) FIM_EXCLUDES(mutex_);
+  Distribution& GetDistribution(std::string_view name) FIM_EXCLUDES(mutex_);
 
   /// Name -> value snapshots, sorted by name.
-  std::map<std::string, std::uint64_t> CounterValues() const;
-  std::map<std::string, Distribution::Snapshot> DistributionValues() const;
+  std::map<std::string, std::uint64_t> CounterValues() const
+      FIM_EXCLUDES(mutex_);
+  std::map<std::string, Distribution::Snapshot> DistributionValues() const
+      FIM_EXCLUDES(mutex_);
 
   /// Resets every registered metric to zero (names stay registered).
-  void Reset();
+  void Reset() FIM_EXCLUDES(mutex_);
 
   /// Process-wide registry for cross-cutting metrics.
   static MetricRegistry& Global();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  /// Guards the name maps only; the Counter/Distribution objects behind
+  /// the unique_ptrs are lock-free and are handed out as references.
+  mutable Mutex mutex_{LockRank::kMetricRegistry, "MetricRegistry"};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      FIM_GUARDED_BY(mutex_);
   std::map<std::string, std::unique_ptr<Distribution>, std::less<>>
-      distributions_;
+      distributions_ FIM_GUARDED_BY(mutex_);
 };
 
 }  // namespace fim::obs

@@ -13,17 +13,17 @@ MetricsSampler::MetricsSampler(const MetricsSamplerOptions& options,
 
 void MetricsSampler::Stop() {
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     if (stopped_) return;
     stopping_ = true;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   thread_.join();
   // The thread is gone; emit the final sample from here so short runs
   // always produce at least one line and the series covers the full run.
   EmitSample();
   out_->flush();
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   stopped_ = true;
 }
 
@@ -32,14 +32,18 @@ std::uint64_t MetricsSampler::SamplesWritten() const {
 }
 
 void MetricsSampler::Run() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  while (!stopping_) {
-    if (wake_.wait_for(lock, options_.period, [this]() { return stopping_; })) {
-      break;
+  for (;;) {
+    {
+      const MutexLock lock(mutex_);
+      // One period per iteration; WaitUntil re-checks stopping_ against
+      // spurious wakeups without extending the deadline.
+      const auto deadline = std::chrono::steady_clock::now() + options_.period;
+      while (!stopping_) {
+        if (wake_.WaitUntil(mutex_, deadline)) break;
+      }
+      if (stopping_) return;
     }
-    lock.unlock();
     EmitSample();
-    lock.lock();
   }
 }
 

@@ -3,13 +3,12 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <thread>
 
+#include "common/sync.h"
 #include "obs/metrics.h"
 #include "obs/timeline.h"
 
@@ -64,23 +63,23 @@ class MetricsSampler {
   ~MetricsSampler() { Stop(); }
 
   /// Stops the sampling thread and writes the final sample. Idempotent.
-  void Stop();
+  void Stop() FIM_EXCLUDES(mutex_);
 
   /// Samples written so far (monotone; final value after Stop()).
   std::uint64_t SamplesWritten() const;
 
  private:
-  void Run();
+  void Run() FIM_EXCLUDES(mutex_);
   void EmitSample();
 
   const MetricsSamplerOptions options_;
   std::ostream* const out_;
   const std::chrono::steady_clock::time_point start_;
 
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  bool stopping_ = false;
-  bool stopped_ = false;
+  Mutex mutex_{LockRank::kMetricsSampler, "MetricsSampler"};
+  CondVar wake_;
+  bool stopping_ FIM_GUARDED_BY(mutex_) = false;
+  bool stopped_ FIM_GUARDED_BY(mutex_) = false;
 
   // Sampler-thread state (touched by Stop() only after the join); the
   // sequence number is atomic so SamplesWritten can poll it live.

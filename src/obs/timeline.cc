@@ -46,26 +46,26 @@ Timeline::Timeline(std::size_t capacity_per_lane)
 }
 
 TimelineLane* Timeline::AddLane(std::string name) {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   lanes_.push_back(std::make_unique<TimelineLane>(
       std::move(name), capacity_per_lane_, epoch_));
   return lanes_.back().get();
 }
 
 std::size_t Timeline::NumLanes() const {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   return lanes_.size();
 }
 
 std::uint64_t Timeline::DroppedEvents() const {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   std::uint64_t dropped = 0;
   for (const auto& lane : lanes_) dropped += lane->DroppedEvents();
   return dropped;
 }
 
 std::vector<const TimelineLane*> Timeline::Lanes() const {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   std::vector<const TimelineLane*> lanes;
   lanes.reserve(lanes_.size());
   for (const auto& lane : lanes_) lanes.push_back(lane.get());

@@ -6,12 +6,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "obs/trace.h"
 
 namespace fim::obs {
@@ -126,24 +126,25 @@ class Timeline {
   /// Registers a new lane for the calling worker thread. Safe to call
   /// from any thread; the returned lane must only be written by its
   /// thread. Lane pointers stay valid for the Timeline's lifetime.
-  TimelineLane* AddLane(std::string name);
+  TimelineLane* AddLane(std::string name) FIM_EXCLUDES(mutex_);
 
   /// Number of lanes registered so far.
-  std::size_t NumLanes() const;
+  std::size_t NumLanes() const FIM_EXCLUDES(mutex_);
 
   /// Sum of DroppedEvents over all lanes.
-  std::uint64_t DroppedEvents() const;
+  std::uint64_t DroppedEvents() const FIM_EXCLUDES(mutex_);
 
   /// Snapshot of the lane pointers (indexed by lane id, i.e. trace tid).
-  std::vector<const TimelineLane*> Lanes() const;
+  std::vector<const TimelineLane*> Lanes() const FIM_EXCLUDES(mutex_);
 
   std::chrono::steady_clock::time_point epoch() const { return epoch_; }
 
  private:
   const std::size_t capacity_per_lane_;
   const std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mutex_;  // guards lane registration only
-  std::vector<std::unique_ptr<TimelineLane>> lanes_;
+  /// Guards lane registration only; recording on a lane is lock-free.
+  mutable Mutex mutex_{LockRank::kTimeline, "Timeline"};
+  std::vector<std::unique_ptr<TimelineLane>> lanes_ FIM_GUARDED_BY(mutex_);
   TimelineLane* driver_ = nullptr;  // == lanes_[0], vector-independent
 };
 

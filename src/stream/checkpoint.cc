@@ -39,9 +39,13 @@ constexpr char kCheckpointMagic[4] = {'F', 'I', 'M', 'S'};
 constexpr char kCheckpointEnd[4] = {'S', 'M', 'N', 'D'};
 constexpr uint32_t kCheckpointVersion = 1;
 
-/// Backstop against a corrupt header driving an unbounded read loop.
+/// Backstops against a corrupt header driving an unbounded read loop or
+/// a giant up-front allocation (a restored miner allocates one
+/// transaction-flag byte per item in its live tree before anything is
+/// validated, so the item bound must match fim-tree-v1's
+/// kMaxSerializedItems; 16M items = 16 MB).
 constexpr uint32_t kMaxSegments = uint32_t{1} << 20;
-constexpr uint64_t kMaxCheckpointItems = uint64_t{1} << 31;
+constexpr uint64_t kMaxCheckpointItems = uint64_t{1} << 24;
 
 using io::ReadPod;
 using io::WritePod;
@@ -56,7 +60,7 @@ Status StreamMiner::CheckpointTo(std::ostream& out) {
   obs::Phase checkpoint_phase(options_.trace, lane_, "checkpoint");
   FrozenState frozen;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     frozen = FreezeLocked();
   }
   // Everything below writes immutable shared segments and private
@@ -98,7 +102,7 @@ Status StreamMiner::CheckpointTo(std::ostream& out) {
           ? static_cast<std::uint64_t>(end - begin)
           : 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     counters_.checkpoint_bytes_written += bytes;
   }
   Bump(kCkptWritten, bytes);
@@ -242,19 +246,24 @@ Result<std::unique_ptr<StreamMiner>> StreamMiner::RestoreFrom(
   options.timeline = timeline;
   std::unique_ptr<StreamMiner> miner(
       new StreamMiner(options, /*restored=*/true));
-  miner->segments_ = std::move(segments);
-  miner->pending_items_ = std::move(pending_items);
-  miner->pending_weight_ = static_cast<Support>(pending_weight);
-  miner->ingested_ = ingested;
-  miner->fill_ = fill;
-  miner->current_pane_ = current_pane;
   const std::streampos end = in.tellg();
   const std::uint64_t bytes =
       (begin >= 0 && end >= 0 && end > begin)
           ? static_cast<std::uint64_t>(end - begin)
           : 0;
   counters.checkpoint_bytes_read += bytes;
-  miner->counters_ = counters;
+  {
+    // The miner is not shared yet; the lock exists to satisfy the
+    // guarded-field contract (and costs one uncontended acquisition).
+    const MutexLock lock(miner->mutex_);
+    miner->segments_ = std::move(segments);
+    miner->pending_items_ = std::move(pending_items);
+    miner->pending_weight_ = static_cast<Support>(pending_weight);
+    miner->ingested_ = ingested;
+    miner->fill_ = fill;
+    miner->current_pane_ = current_pane;
+    miner->counters_ = counters;
+  }
   if (registry != nullptr) {
     // Mirror the restored history into the registry so the live export
     // matches Stats() from the first post-restore scrape on.

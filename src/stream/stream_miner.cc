@@ -58,7 +58,7 @@ Status StreamMiner::AddTransaction(std::vector<ItemId> items) {
     return Status::OutOfRange("item id " + std::to_string(items.back()) +
                               " exceeds the miner's item capacity");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   if (options_.merge_duplicate_transactions && pending_weight_ > 0 &&
       items == pending_items_) {
     // Extend the current duplicate run; it reaches the live tree as one
@@ -129,7 +129,7 @@ Status StreamMiner::Query(Support min_support,
   std::vector<Segment> covered;
   {
     obs::Phase freeze_phase(options_.trace, lane_, "query-freeze");
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     ++counters_.queries;
     Bump(kQueries);
     // Pane rotation is the only writer-visible cost of a query: the
@@ -191,7 +191,7 @@ Status StreamMiner::Query(Support min_support,
     // query then folds one tree per already-seen pane instead of one per
     // historical seal. Replacement is by segment identity — if ingest
     // expired or another query already replaced a run, skip it.
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     counters_.snapshot_merges += merges;
     Bump(kMerges, merges);
     for (const Install& install : installs) {
@@ -234,24 +234,24 @@ Result<std::vector<ClosedItemset>> StreamMiner::QueryCollect(
 }
 
 std::uint64_t StreamMiner::NumTransactions() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return ingested_;
 }
 
 std::uint64_t StreamMiner::CurrentPaneIndex() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return current_pane_;
 }
 
 std::size_t StreamMiner::NodeCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::size_t nodes = live_->NodeCount();
   for (const Segment& segment : segments_) nodes += segment.tree->NodeCount();
   return nodes;
 }
 
 StreamStats StreamMiner::Stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   StreamStats stats = counters_;
   stats.live_segments =
       segments_.size() + (live_->StepCount() > 0 ? 1 : 0);

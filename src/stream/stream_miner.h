@@ -4,11 +4,11 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "data/itemset.h"
 #include "ista/prefix_tree.h"
 #include "obs/metrics.h"
@@ -128,14 +128,15 @@ class StreamMiner {
   /// Ingests one transaction (any order, duplicates allowed; normalized
   /// internally). InvalidArgument if empty after normalization,
   /// OutOfRange if an item id reaches max_items.
-  Status AddTransaction(std::vector<ItemId> items);
+  Status AddTransaction(std::vector<ItemId> items) FIM_EXCLUDES(mutex_);
 
   /// Reports the closed item sets with support >= min_support (>= 1)
   /// over the current landmark history or window, items ascending. The
   /// snapshot is exact: identical to batch-mining the covered
   /// transaction multiset. Safe to call while other threads ingest; the
   /// callback runs without any lock held.
-  Status Query(Support min_support, const ClosedSetCallback& callback);
+  Status Query(Support min_support, const ClosedSetCallback& callback)
+      FIM_EXCLUDES(mutex_);
 
   /// Convenience: collect the current snapshot in canonical order.
   Result<std::vector<ClosedItemset>> QueryCollect(Support min_support);
@@ -146,8 +147,8 @@ class StreamMiner {
   /// uninterrupted run. Ingest may proceed concurrently: the state is
   /// snapshotted under the lock (sealing the live tree), then written
   /// outside it.
-  Status Checkpoint(const std::string& path);
-  Status CheckpointTo(std::ostream& out);
+  Status Checkpoint(const std::string& path) FIM_EXCLUDES(mutex_);
+  Status CheckpointTo(std::ostream& out) FIM_EXCLUDES(mutex_);
 
   /// Reconstructs a miner from a checkpoint. Corrupted or truncated
   /// input yields a clean InvalidArgument (every embedded tree blob is
@@ -163,19 +164,19 @@ class StreamMiner {
 
   /// Raw transactions ingested so far (including before a checkpoint
   /// restore; duplicates counted individually).
-  std::uint64_t NumTransactions() const;
+  std::uint64_t NumTransactions() const FIM_EXCLUDES(mutex_);
 
   /// Index of the currently filling pane (== NumTransactions() /
   /// pane_size in window mode; always 0 in landmark mode).
-  std::uint64_t CurrentPaneIndex() const;
+  std::uint64_t CurrentPaneIndex() const FIM_EXCLUDES(mutex_);
 
   /// Total repository nodes across all live segments and the live tree
   /// (memory diagnostics; may shrink when panes expire or queries
   /// compact segments).
-  std::size_t NodeCount() const;
+  std::size_t NodeCount() const FIM_EXCLUDES(mutex_);
 
   /// Current counter snapshot.
-  StreamStats Stats() const;
+  StreamStats Stats() const FIM_EXCLUDES(mutex_);
 
   const StreamMinerOptions& options() const { return options_; }
 
@@ -202,19 +203,19 @@ class StreamMiner {
   explicit StreamMiner(const StreamMinerOptions& options, bool restored);
 
   /// Applies the pending duplicate run to the live tree (weighted
-  /// Figure-2 addition). Caller holds mutex_.
-  void FlushPendingLocked();
+  /// Figure-2 addition).
+  void FlushPendingLocked() FIM_REQUIRES(mutex_);
 
   /// Moves a non-empty live tree into an immutable segment of the
-  /// current pane and starts a fresh live tree. Caller holds mutex_.
-  void SealLiveLocked();
+  /// current pane and starts a fresh live tree.
+  void SealLiveLocked() FIM_REQUIRES(mutex_);
 
   /// Completes the current pane: advances the pane index and drops the
-  /// segments that left the window. Caller holds mutex_.
-  void RotateLocked();
+  /// segments that left the window.
+  void RotateLocked() FIM_REQUIRES(mutex_);
 
-  /// Copies the checkpoint/query state out. Caller holds mutex_.
-  FrozenState FreezeLocked();
+  /// Copies the checkpoint/query state out.
+  FrozenState FreezeLocked() FIM_REQUIRES(mutex_);
 
   /// Registry counter shortcut (nullptr when no registry is attached).
   obs::Counter* counter_[9] = {};
@@ -237,15 +238,20 @@ class StreamMiner {
   /// single confined caller thread records on it.
   obs::TimelineLane* lane_ = nullptr;
 
-  mutable std::mutex mutex_;
-  std::vector<Segment> segments_;         // sealed, pane non-decreasing
-  std::unique_ptr<IstaPrefixTree> live_;  // writer-owned current tree
-  std::vector<ItemId> pending_items_;     // current duplicate run
-  Support pending_weight_ = 0;            // 0 = no pending run
-  std::uint64_t ingested_ = 0;
-  std::uint64_t fill_ = 0;          // transactions in the current pane
-  std::uint64_t current_pane_ = 0;  // index of the filling pane
-  StreamStats counters_;            // mutated under mutex_ only
+  mutable Mutex mutex_{LockRank::kStreamMiner, "StreamMiner"};
+  // Sealed segments, pane non-decreasing. The vector is guarded; the
+  // trees behind the shared_ptrs are immutable and read lock-free.
+  std::vector<Segment> segments_ FIM_GUARDED_BY(mutex_);
+  // Writer-owned current tree.
+  std::unique_ptr<IstaPrefixTree> live_ FIM_GUARDED_BY(mutex_);
+  // Current duplicate run (weight 0 = no pending run).
+  std::vector<ItemId> pending_items_ FIM_GUARDED_BY(mutex_);
+  Support pending_weight_ FIM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t ingested_ FIM_GUARDED_BY(mutex_) = 0;
+  // Transactions in the current pane / index of the filling pane.
+  std::uint64_t fill_ FIM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t current_pane_ FIM_GUARDED_BY(mutex_) = 0;
+  StreamStats counters_ FIM_GUARDED_BY(mutex_);
 };
 
 }  // namespace fim

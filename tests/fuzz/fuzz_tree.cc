@@ -1,0 +1,34 @@
+// libFuzzer harness for the `fim-tree-v1` binary loader
+// (IstaPrefixTree::Deserialize). Checkpoints cross process and machine
+// boundaries, so the loader must treat every byte as hostile: any input
+// either deserializes into a tree that passes full invariant validation
+// or yields a clean InvalidArgument — never a crash, hang, leak, or
+// oversized allocation. A blob that validates must also re-serialize to
+// exactly the bytes the loader consumed (the format is a bit-exact
+// node-layout dump).
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "ista/prefix_tree.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > (size_t{1} << 20)) return 0;
+  const std::string input(reinterpret_cast<const char*>(data), size);
+  std::istringstream in(input);
+  auto tree = fim::IstaPrefixTree::Deserialize(in);
+  if (!tree.ok()) return 0;
+  const std::streampos consumed = in.tellg();
+  std::ostringstream out;
+  if (!tree.value().SerializeTo(out).ok()) __builtin_trap();
+  const std::string rewritten = out.str();
+  // The loader consumed exactly one blob; re-serializing the validated
+  // tree must reproduce those bytes bit for bit.
+  if (consumed >= 0 &&
+      rewritten != input.substr(0, static_cast<size_t>(consumed))) {
+    __builtin_trap();
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Standalone replacement for the libFuzzer driver, used when the
+// toolchain has no -fsanitize=fuzzer (e.g. GCC): runs every file named
+// on the command line — directories are walked recursively — through
+// LLVMFuzzerTestOneInput once. This turns the seed corpora into plain
+// regression tests on every toolchain, so the harnesses cannot bitrot
+// between fuzzing runs. Dash-prefixed arguments (libFuzzer flags such
+// as -runs=0) are accepted and ignored so the ctest command line is
+// identical under both drivers.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+std::size_t RunFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "fuzz driver: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t executed = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-') continue;
+    const std::filesystem::path path(argv[i]);
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(path)) {
+        if (entry.is_regular_file()) executed += RunFile(entry.path());
+      }
+    } else if (std::filesystem::exists(path, ec)) {
+      executed += RunFile(path);
+    } else {
+      std::fprintf(stderr, "fuzz driver: no such input %s\n", path.c_str());
+      return 1;
+    }
+  }
+  std::printf("fuzz driver: %zu inputs executed, no crashes\n", executed);
+  return 0;
+}

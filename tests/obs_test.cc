@@ -6,16 +6,20 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "api/miner.h"
+#include "common/sync.h"
 #include "data/generators.h"
 #include "obs/export.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/miner_stats.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 
 namespace fim {
@@ -447,6 +451,53 @@ TEST(OutputNeutralityTest, ParallelIstaFillsIntersectionCounters) {
   EXPECT_GE(stats.peak_nodes, stats.final_nodes);
   EXPECT_EQ(stats.merge_calls, 3u);  // 4 workers -> 3 pairwise merges
   EXPECT_EQ(stats.sets_reported, result.value().size());
+}
+
+// --- annotated synchronization ---------------------------------------
+
+// Same contract style as MetricRegistry's internals: the helper demands
+// the registry-rank mutex via FIM_REQUIRES, so the FIM_THREAD_SAFETY CI
+// job rejects any call site that forgot the lock.
+void AppendHolding(Mutex& mutex, std::vector<int>& log, int value)
+    FIM_REQUIRES(mutex) {
+  log.push_back(value);
+}
+
+TEST(SyncTest, RequiresAnnotatedHelperUnderRegistryRankMutex) {
+  Mutex mutex(LockRank::kMetricRegistry, "obs-helper");
+  std::vector<int> log;
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 1000; ++i) {
+        const MutexLock lock(mutex);
+        AppendHolding(mutex, log, t);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const MutexLock lock(mutex);
+  EXPECT_EQ(log.size(), 4000u);
+}
+
+TEST(SyncTest, SamplerStressStartStop) {
+  // TSan stress for the CondVar-based sampler shutdown: rapid
+  // construct/Stop cycles race the 1ms sampling loop against Stop()'s
+  // notify, covering both the wait-timeout and the notified exits.
+  obs::MetricRegistry registry;
+  registry.GetCounter("stress.counter").Add(7);
+  for (int round = 0; round < 20; ++round) {
+    std::ostringstream out;
+    obs::MetricsSamplerOptions options;
+    options.period = std::chrono::milliseconds(1);
+    options.registry = &registry;
+    obs::MetricsSampler sampler(options, &out);
+    if (round % 2 == 0) std::this_thread::sleep_for(options.period);
+    sampler.Stop();
+    sampler.Stop();  // idempotent
+    EXPECT_GE(sampler.SamplesWritten(), 1u);  // at least the final sample
+  }
 }
 
 }  // namespace

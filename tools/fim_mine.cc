@@ -94,11 +94,11 @@ int main(int argc, char** argv) {
       }
       algorithm = parsed.value();
     } else if (std::strcmp(arg, "-s") == 0) {
-      min_support = static_cast<Support>(std::atoll(next_value()));
+      min_support = static_cast<Support>(tools::ParseCount("-s", next_value()));
     } else if (std::strcmp(arg, "-S") == 0) {
       percent = std::atof(next_value());
     } else if (std::strcmp(arg, "-t") == 0) {
-      const long long parsed = std::atoll(next_value());
+      const long long parsed = tools::ParseCount("-t", next_value());
       if (parsed < 1) {
         std::fprintf(stderr, "error: -t needs a thread count >= 1\n");
         return 2;

@@ -121,28 +121,34 @@ int ParseArgs(int argc, char** argv, Args* args) {
       return argv[++i];
     };
     if (std::strcmp(arg, "-s") == 0) {
-      args->min_support = static_cast<fim::Support>(std::atoll(next_value()));
+      args->min_support =
+          static_cast<fim::Support>(fim::tools::ParseCount("-s", next_value()));
     } else if (std::strncmp(arg, "--pane=", 7) == 0) {
-      args->pane_size = static_cast<std::size_t>(std::atoll(arg + 7));
+      args->pane_size =
+          static_cast<std::size_t>(fim::tools::ParseCount("--pane", arg + 7));
     } else if (std::strncmp(arg, "--window=", 9) == 0) {
-      args->window_panes = static_cast<std::size_t>(std::atoll(arg + 9));
+      args->window_panes =
+          static_cast<std::size_t>(fim::tools::ParseCount("--window", arg + 9));
     } else if (std::strncmp(arg, "--query-every=", 14) == 0) {
-      args->query_every = static_cast<std::uint64_t>(std::atoll(arg + 14));
+      args->query_every =
+          static_cast<std::uint64_t>(fim::tools::ParseCount("--query-every", arg + 14));
     } else if (std::strncmp(arg, "--checkpoint=", 13) == 0) {
       args->checkpoint_path = arg + 13;
     } else if (std::strncmp(arg, "--checkpoint-every=", 19) == 0) {
-      args->checkpoint_every =
-          static_cast<std::uint64_t>(std::atoll(arg + 19));
+      args->checkpoint_every = static_cast<std::uint64_t>(
+          fim::tools::ParseCount("--checkpoint-every", arg + 19));
     } else if (std::strncmp(arg, "--resume=", 9) == 0) {
       args->resume_path = arg + 9;
     } else if (std::strncmp(arg, "--max-items=", 12) == 0) {
-      args->max_items = static_cast<std::size_t>(std::atoll(arg + 12));
+      args->max_items =
+          static_cast<std::size_t>(fim::tools::ParseCount("--max-items", arg + 12));
     } else if (std::strcmp(arg, "-q") == 0) {
       args->quiet = true;
     } else if (args->obs.Parse(arg)) {
       // one of --stats / --stats-out / --trace-out
     } else if (std::strncmp(arg, "--sample-every=", 15) == 0) {
-      args->sample_every_ms = static_cast<std::uint64_t>(std::atoll(arg + 15));
+      args->sample_every_ms = static_cast<std::uint64_t>(
+          fim::tools::ParseCount("--sample-every", arg + 15));
     } else if (std::strncmp(arg, "--sample-out=", 13) == 0) {
       args->sample_out = arg + 13;
     } else if (std::strcmp(arg, "-h") == 0 ||

@@ -136,7 +136,7 @@ int main(int argc, char** argv) {
         Usage();
         return 2;
       }
-      min_support = static_cast<Support>(std::atoll(argv[++i]));
+      min_support = static_cast<Support>(tools::ParseCount("-s", argv[++i]));
     } else if (std::strcmp(arg, "-h") == 0 ||
                std::strcmp(arg, "--help") == 0) {
       Usage();

@@ -14,7 +14,9 @@
 // Tools parse them through ObsFlags::Parse and render through
 // EmitStatsReport / EmitChromeTrace so the behaviour cannot drift apart.
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -24,6 +26,24 @@
 #include "obs/timeline.h"
 
 namespace fim::tools {
+
+/// Parses a non-negative integer flag value with full error checking —
+/// std::atoll reports neither overflow nor trailing garbage
+/// (cert-err34-c), so "-s 10x" or "-s 99999999999999999999" would
+/// silently mine with a wrong threshold. Prints a usage error naming
+/// `flag` and exits with status 2 on any malformed value.
+inline long long ParseCount(const char* flag, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  if (errno == ERANGE || end == text || *end != '\0' || value < 0) {
+    std::fprintf(stderr,
+                 "error: %s expects a non-negative integer, got \"%s\"\n",
+                 flag, text);
+    std::exit(2);
+  }
+  return value;
+}
 
 enum class StatsFormat { kNone, kText, kJson };
 
