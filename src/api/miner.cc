@@ -1,5 +1,6 @@
 #include "api/miner.h"
 
+#include "kernels/intersect.h"
 #include "obs/timeline.h"
 
 #include "carpenter/carpenter.h"
@@ -55,15 +56,12 @@ const std::vector<Algorithm>& AllAlgorithms() {
   return all;
 }
 
-Status MineClosed(const TransactionDatabase& db, const MinerOptions& options,
-                  const ClosedSetCallback& callback, MinerStats* stats,
-                  obs::Trace* trace) {
-  // Every algorithm mines inside one "mine" span (and one "mine"
-  // timeline event pair on the driver lane); IsTa nests its internal
-  // phases below it.
-  obs::TimelineLane* lane =
-      options.timeline != nullptr ? options.timeline->driver() : nullptr;
-  obs::Phase mine_phase(trace, lane, "mine");
+namespace {
+
+Status MineClosedDispatch(const TransactionDatabase& db,
+                          const MinerOptions& options,
+                          const ClosedSetCallback& callback, MinerStats* stats,
+                          obs::Trace* trace) {
   switch (options.algorithm) {
     case Algorithm::kIsta: {
       IstaOptions ista;
@@ -125,6 +123,32 @@ Status MineClosed(const TransactionDatabase& db, const MinerOptions& options,
     }
   }
   return Status::InvalidArgument("unknown algorithm");
+}
+
+}  // namespace
+
+Status MineClosed(const TransactionDatabase& db, const MinerOptions& options,
+                  const ClosedSetCallback& callback, MinerStats* stats,
+                  obs::Trace* trace) {
+  // Every algorithm mines inside one "mine" span (and one "mine"
+  // timeline event pair on the driver lane); IsTa nests its internal
+  // phases below it.
+  obs::TimelineLane* lane =
+      options.timeline != nullptr ? options.timeline->driver() : nullptr;
+  obs::Phase mine_phase(trace, lane, "mine");
+  // The per-family entry points reset *stats before filling it, so the
+  // kernel delta must be applied after the dispatch returns. The
+  // snapshots are exact here: every family joins its workers before
+  // returning, so all thread-local kernel counters are quiescent.
+  const kernels::CounterSnapshot before = kernels::Counters();
+  const Status status = MineClosedDispatch(db, options, callback, stats, trace);
+  if (stats != nullptr) {
+    const kernels::CounterSnapshot after = kernels::Counters();
+    stats->kernel_calls += after.calls - before.calls;
+    stats->kernel_elements_in += after.elements_in - before.elements_in;
+    stats->kernel_elements_out += after.elements_out - before.elements_out;
+  }
+  return status;
 }
 
 Result<std::vector<ClosedItemset>> MineClosedCollect(

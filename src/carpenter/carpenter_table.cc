@@ -4,6 +4,7 @@
 #include "carpenter/carpenter.h"
 #include "carpenter/repository.h"
 #include "common/check.h"
+#include "kernels/intersect.h"
 
 namespace fim {
 
@@ -118,10 +119,12 @@ class TableMiner {
     std::vector<ItemId> child;
     for (Tid j = l; j < n_; ++j) {
       const Support* row = Row(j);
-      members.clear();
-      for (ItemId i : items) {
-        if (row[i] != 0) members.push_back(i);
-      }
+      // The matrix-row intersection (paper §3.1.2) is an occurrence-row
+      // filter: keep the items whose entry in row j is non-zero. Runs
+      // through the dispatched kernel (gather-based under AVX2).
+      members.resize(items.size());
+      members.resize(kernels::Active().filter_nonzero(
+          items.data(), items.size(), row, members.data()));
       if (members.empty()) continue;
       if (members.size() == items.size()) {
         ++supp;  // t_j contains I: absorb (perfect extension analog)

@@ -88,6 +88,11 @@ enum class LockRank : std::uint32_t {
   /// Timeline::mutex_ — lane registration only (recording is lock-free).
   kTimeline = 300,
 
+  /// kernels::CounterRegistry mutex — thread-local counter-block
+  /// registration and snapshots. A leaf like the metric registry; held
+  /// only while splicing a TLS block in/out or summing a snapshot.
+  kKernelCounters = 350,
+
   /// MetricRegistry::mutex_ — name -> metric lookup. A leaf: increments
   /// are atomic and a registry critical section takes no other lock.
   kMetricRegistry = 400,

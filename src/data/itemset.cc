@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "kernels/intersect.h"
+
 namespace fim {
 
 bool ClosedItemsetLess(const ClosedItemset& a, const ClosedItemset& b) {
@@ -32,9 +34,7 @@ void NormalizeItems(std::vector<ItemId>* items) {
 std::vector<ItemId> IntersectSorted(std::span<const ItemId> a,
                                     std::span<const ItemId> b) {
   std::vector<ItemId> out;
-  out.reserve(std::min(a.size(), b.size()));
-  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out));
+  kernels::IntersectInto(a, b, &out);
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "data/recode.h"
+#include "kernels/intersect.h"
 
 namespace fim {
 
@@ -40,15 +41,15 @@ class CharmMiner {
       // Children are materialized afterwards so they inherit ALL merged
       // items — creating them eagerly would lose later property-2 items.
       std::vector<std::pair<std::size_t, std::vector<Tid>>> extensions;
+      // One scratch intersection per recursion level, reused across the
+      // inner loop: pairs that merge or fall below min_support (the
+      // common case) never allocate once the scratch is warm.
+      std::vector<Tid> inter;
       for (std::size_t j = i + 1; j < nodes->size(); ++j) {
         Node& other = (*nodes)[j];
         if (other.items.empty()) continue;
         if (stats_ != nullptr) ++stats_->extension_checks;
-        std::vector<Tid> inter;
-        inter.reserve(std::min(current.tids.size(), other.tids.size()));
-        std::set_intersection(current.tids.begin(), current.tids.end(),
-                              other.tids.begin(), other.tids.end(),
-                              std::back_inserter(inter));
+        kernels::IntersectInto(current.tids, other.tids, &inter);
         const bool covers_current = inter.size() == current.tids.size();
         const bool covers_other = inter.size() == other.tids.size();
         if (covers_current && covers_other) {
@@ -63,16 +64,17 @@ class CharmMiner {
           MergeItems(&current.items, other.items);
         } else if (inter.size() >= min_support_) {
           // Properties 3/4: a genuine new candidate below `current`.
-          extensions.emplace_back(j, std::move(inter));
+          // Copy exact-size out of the scratch so it keeps its capacity.
+          extensions.emplace_back(j, inter);
         }
       }
       std::vector<Node> children;
       children.reserve(extensions.size());
-      for (auto& [j, inter] : extensions) {
+      for (auto& [j, tids] : extensions) {
         Node child;
         child.items = current.items;
         MergeItems(&child.items, (*nodes)[j].items);
-        child.tids = std::move(inter);
+        child.tids = std::move(tids);
         children.push_back(std::move(child));
       }
       if (!children.empty()) Extend(&children);

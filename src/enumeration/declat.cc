@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "data/recode.h"
+#include "kernels/intersect.h"
 
 namespace fim {
 
@@ -30,16 +31,16 @@ class DeclatMiner {
       prefix->push_back(columns[a].item);
       callback_(*prefix, columns[a].support);
       std::vector<Column> next;
+      // Per-level scratch: infrequent candidates reuse the buffer,
+      // survivors are copied out exact-size.
+      std::vector<Tid> diff;
       for (std::size_t b = a + 1; b < columns.size(); ++b) {
         // diffset(ab) = t(a) \ t(b); supp(ab) = supp(a) - |diffset|.
-        std::vector<Tid> diff;
-        std::set_difference(columns[a].set.begin(), columns[a].set.end(),
-                            columns[b].set.begin(), columns[b].set.end(),
-                            std::back_inserter(diff));
+        kernels::DifferenceInto(columns[a].set, columns[b].set, &diff);
         const Support support =
             columns[a].support - static_cast<Support>(diff.size());
         if (support >= min_support_) {
-          next.push_back(Column{columns[b].item, support, std::move(diff)});
+          next.push_back(Column{columns[b].item, support, diff});
         }
       }
       if (!next.empty()) MineDiff(next, prefix);
@@ -55,15 +56,13 @@ class DeclatMiner {
       prefix->push_back(columns[a].item);
       callback_(*prefix, columns[a].support);
       std::vector<Column> next;
+      std::vector<Tid> diff;  // per-level scratch, as in MineRoot
       for (std::size_t b = a + 1; b < columns.size(); ++b) {
-        std::vector<Tid> diff;
-        std::set_difference(columns[b].set.begin(), columns[b].set.end(),
-                            columns[a].set.begin(), columns[a].set.end(),
-                            std::back_inserter(diff));
+        kernels::DifferenceInto(columns[b].set, columns[a].set, &diff);
         const Support support =
             columns[a].support - static_cast<Support>(diff.size());
         if (support >= min_support_) {
-          next.push_back(Column{columns[b].item, support, std::move(diff)});
+          next.push_back(Column{columns[b].item, support, diff});
         }
       }
       if (!next.empty()) MineDiff(next, prefix);

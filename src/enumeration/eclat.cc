@@ -1,17 +1,24 @@
 #include "enumeration/eclat.h"
 
-#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "data/recode.h"
+#include "kernels/tidset.h"
 
 namespace fim {
 
 namespace {
 
+using kernels::TidSet;
+
+// A vertical column: an extension item with the tid set of the current
+// prefix extended by it. The TidSet picks sparse or dense (bit vector)
+// representation by density, so deep intersection chains on dense data
+// run word-at-a-time instead of element-at-a-time.
 struct Column {
   ItemId item;
-  std::vector<Tid> tids;
+  TidSet tids;
 };
 
 class EclatMiner {
@@ -20,20 +27,21 @@ class EclatMiner {
       : min_support_(min_support), callback_(callback) {}
 
   void Mine(const std::vector<Column>& columns, std::vector<ItemId>* prefix) {
+    // One scratch result per recursion level, reused across all candidate
+    // pairs of the level: infrequent intersections (the vast majority)
+    // never allocate once the scratch is warm.
+    TidSet scratch;
     for (std::size_t a = 0; a < columns.size(); ++a) {
       prefix->push_back(columns[a].item);
-      callback_(*prefix, static_cast<Support>(columns[a].tids.size()));
+      callback_(*prefix, columns[a].tids.Count());
       // Extensions: intersect with the later columns.
       std::vector<Column> next;
       for (std::size_t b = a + 1; b < columns.size(); ++b) {
-        std::vector<Tid> tids;
-        tids.reserve(
-            std::min(columns[a].tids.size(), columns[b].tids.size()));
-        std::set_intersection(columns[a].tids.begin(), columns[a].tids.end(),
-                              columns[b].tids.begin(), columns[b].tids.end(),
-                              std::back_inserter(tids));
-        if (tids.size() >= min_support_) {
-          next.push_back(Column{columns[b].item, std::move(tids)});
+        TidSet::Intersect(columns[a].tids, columns[b].tids, &scratch);
+        if (scratch.Count() >= min_support_) {
+          // Survivor: copy exact-size out of the scratch so the scratch
+          // keeps its capacity for the remaining pairs.
+          next.push_back(Column{columns[b].item, scratch});
         }
       }
       if (!next.empty()) Mine(next, prefix);
@@ -62,13 +70,15 @@ Status MineFrequentEclat(const TransactionDatabase& db,
       ApplyRecoding(db, recoding, TransactionOrder::kNone);
   if (coded.NumTransactions() == 0) return Status::OK();
 
+  const Tid universe = static_cast<Tid>(coded.NumTransactions());
   auto tidlists = coded.BuildVertical();
   std::vector<Column> columns;
   columns.reserve(tidlists.size());
   for (std::size_t i = 0; i < tidlists.size(); ++i) {
     if (tidlists[i].size() >= options.min_support) {
-      columns.push_back(Column{static_cast<ItemId>(i),
-                               std::move(tidlists[i])});
+      columns.push_back(Column{
+          static_cast<ItemId>(i),
+          TidSet::FromSorted(std::move(tidlists[i]), universe)});
     }
   }
 

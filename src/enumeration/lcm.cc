@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "data/recode.h"
+#include "kernels/intersect.h"
 
 namespace fim {
 
@@ -25,20 +26,34 @@ class LcmCore {
   const TransactionDatabase& db() const { return db_; }
 
   // Intersection of the transactions referenced by `occ` (occ non-empty).
+  // The intermediate results ping-pong between two reused buffers; the
+  // scratch is thread_local because this const method runs concurrently
+  // on the parallel workers.
   std::vector<ItemId> ComputeClosure(const std::vector<Tid>& occ) const {
-    std::vector<ItemId> closure = db_.transaction(occ.front());
-    for (std::size_t k = 1; k < occ.size() && !closure.empty(); ++k) {
-      closure = IntersectSorted(closure, db_.transaction(occ[k]));
+    thread_local std::vector<ItemId> ping;
+    thread_local std::vector<ItemId> pong;
+    std::span<const ItemId> current = db_.transaction(occ.front());
+    std::vector<ItemId>* bufs[2] = {&ping, &pong};
+    int which = 0;
+    for (std::size_t k = 1; k < occ.size() && !current.empty(); ++k) {
+      std::vector<ItemId>* out = bufs[which];
+      which ^= 1;
+      kernels::IntersectInto(current, db_.transaction(occ[k]), out);
+      current = *out;
     }
-    return closure;
+    return std::vector<ItemId>(current.begin(), current.end());
+  }
+
+  // occ ∩ tidlist(item), written into `*out` (buffer reused).
+  void OccurrencesInto(const std::vector<Tid>& occ, ItemId item,
+                       std::vector<Tid>* out) const {
+    kernels::IntersectInto(occ, tidlists_[item], out);
   }
 
   std::vector<Tid> OccurrencesOf(const std::vector<Tid>& occ,
                                  ItemId item) const {
     std::vector<Tid> out;
-    out.reserve(std::min(occ.size(), tidlists_[item].size()));
-    std::set_intersection(occ.begin(), occ.end(), tidlists_[item].begin(),
-                          tidlists_[item].end(), std::back_inserter(out));
+    OccurrencesInto(occ, item, &out);
     return out;
   }
 
@@ -61,11 +76,18 @@ class LcmCore {
     const std::size_t num_items = db_.NumItems();
     const ItemId first =
         core == kInvalidItem ? 0 : static_cast<ItemId>(core + 1);
+    // Candidate occurrence lists land in a thread_local scratch first:
+    // infrequent extensions (the common case) are rejected without
+    // allocating, survivors are copied out exact-size. Safe across the
+    // recursion below — the scratch is recomputed every iteration and
+    // never read after the recursive call.
+    thread_local std::vector<Tid> occ_scratch;
     for (ItemId i = first; i < num_items; ++i) {
       if (std::binary_search(p.begin(), p.end(), i)) continue;
       if (stats != nullptr) ++stats->extension_checks;
-      std::vector<Tid> occ_i = OccurrencesOf(occ, i);
-      if (occ_i.size() < min_support_) continue;
+      OccurrencesInto(occ, i, &occ_scratch);
+      if (occ_scratch.size() < min_support_) continue;
+      const std::vector<Tid> occ_i = occ_scratch;
       if (stats != nullptr) ++stats->closure_checks;
       std::vector<ItemId> q = ComputeClosure(occ_i);
       if (!PrefixPreserved(p, q, i)) continue;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "kernels/intersect.h"
+
 namespace fim {
 
 namespace {
@@ -40,17 +42,29 @@ class TransposedMiner {
 
  private:
   // Intersection of the tid lists selected by `rows` (non-empty input).
+  // Rows are visited shortest first — the running intersection never
+  // exceeds the smallest operand, so starting small keeps every merge
+  // (and the galloping cutover against the long rows) cheap — and the
+  // intermediate results ping-pong between two reused member buffers
+  // instead of allocating a fresh vector per round.
   std::vector<Tid> IntersectRows(const std::vector<std::size_t>& rows) const {
-    std::vector<Tid> inter = rows_[rows.front()];
-    for (std::size_t k = 1; k < rows.size() && !inter.empty(); ++k) {
-      std::vector<Tid> next;
-      next.reserve(inter.size());
-      std::set_intersection(inter.begin(), inter.end(),
-                            rows_[rows[k]].begin(), rows_[rows[k]].end(),
-                            std::back_inserter(next));
-      inter = std::move(next);
+    order_.assign(rows.begin(), rows.end());
+    std::sort(order_.begin(), order_.end(),
+              [this](std::size_t x, std::size_t y) {
+                const std::size_t sx = rows_[x].size();
+                const std::size_t sy = rows_[y].size();
+                return sx != sy ? sx < sy : x < y;
+              });
+    const std::vector<Tid>* current = &rows_[order_.front()];
+    std::vector<Tid>* bufs[2] = {&inter_ping_, &inter_pong_};
+    int which = 0;
+    for (std::size_t k = 1; k < order_.size() && !current->empty(); ++k) {
+      std::vector<Tid>* out = bufs[which];
+      which ^= 1;
+      kernels::IntersectInto(*current, rows_[order_[k]], out);
+      current = out;
     }
-    return inter;
+    return *current;  // the caller owns its result; copy out of the scratch
   }
 
   // Prefix-preserving closure extension over the tid universe. `p` is
@@ -106,6 +120,12 @@ class TransposedMiner {
   MinerStats* stats_;
   std::vector<ItemId> used_items_;
   std::vector<std::vector<Tid>> rows_;
+  // IntersectRows scratch. Safe despite the recursion in Extend: each
+  // IntersectRows call completes (and its result is copied out) before
+  // the next one starts.
+  mutable std::vector<std::size_t> order_;
+  mutable std::vector<Tid> inter_ping_;
+  mutable std::vector<Tid> inter_pong_;
 };
 
 }  // namespace

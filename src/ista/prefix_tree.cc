@@ -18,14 +18,13 @@ IstaPrefixTree::IstaPrefixTree(std::size_t num_items)
 }
 
 uint32_t IstaPrefixTree::NewNode(ItemId item, uint32_t step, Support supp) {
-  if ((next_index_ & (kChunkSize - 1)) == 0 &&
-      (next_index_ >> kChunkShift) == chunks_.size()) {
-    chunks_.emplace_back();
-    chunks_.back().reserve(kChunkSize);
-  }
   uint32_t index = next_index_++;
-  chunks_[index >> kChunkShift].push_back(
-      Node{step, item, supp, 0, kNil, kNil});
+  node_step_.push_back(step);
+  node_item_.push_back(item);
+  node_supp_.push_back(supp);
+  node_trans_.push_back(0);
+  links_.push_back(kNil);  // ChildSlot(index)
+  links_.push_back(kNil);  // SibSlot(index)
   ++node_count_;
   if (node_count_ > peak_node_count_) peak_node_count_ = node_count_;
   return index;
@@ -33,13 +32,17 @@ uint32_t IstaPrefixTree::NewNode(ItemId item, uint32_t step, Support supp) {
 
 uint32_t IstaPrefixTree::FindOrCreateChild(uint32_t parent, ItemId item,
                                            Support supp) {
-  // Sibling lists are sorted by descending item code.
-  uint32_t* link = &At(parent).children;
-  while (*link != kNil && At(*link).item > item) link = &At(*link).sibling;
-  if (*link != kNil && At(*link).item == item) return *link;
-  uint32_t node = NewNode(item, 0, supp);
-  At(node).sibling = *link;
-  *link = node;
+  // Sibling lists are sorted by descending item code. The cursor is a
+  // link-arena slot index, so it survives the allocation below.
+  uint32_t slot = ChildSlot(parent);
+  while (links_[slot] != kNil && node_item_[links_[slot]] > item) {
+    slot = SibSlot(links_[slot]);
+  }
+  const uint32_t found = links_[slot];
+  if (found != kNil && node_item_[found] == item) return found;
+  const uint32_t node = NewNode(item, 0, supp);
+  links_[SibSlot(node)] = found;
+  links_[slot] = node;
   return node;
 }
 
@@ -65,8 +68,8 @@ void IstaPrefixTree::AddTransaction(std::span<const ItemId> items,
   total_weight_ += weight;
   for (ItemId i : items) in_transaction_[i] = 1;
   imin_ = items.front();
-  At(InsertTransactionPath(items)).trans += weight;
-  Isect(At(kRoot).children, &At(kRoot).children, weight);
+  node_trans_[InsertTransactionPath(items)] += weight;
+  Isect(links_[ChildSlot(kRoot)], ChildSlot(kRoot), weight);
   for (ItemId i : items) in_transaction_[i] = 0;
   // Full validation is O(nodes); amortize it over power-of-two steps so
   // debug test runs stay roughly O(total work * log steps).
@@ -75,49 +78,54 @@ void IstaPrefixTree::AddTransaction(std::span<const ItemId> items,
   }
 }
 
-void IstaPrefixTree::Isect(uint32_t node, uint32_t* ins, Support weight) {
+void IstaPrefixTree::Isect(uint32_t node, uint32_t ins_slot, Support weight) {
   // The recursion of Figure 2, on an explicit stack: a frame suspends the
   // remainder of a sibling list while the current node's child level is
-  // intersected. Insertion links stay valid across allocations because
-  // node storage is chunked.
+  // intersected. Insertion cursors are link-arena slot indices, so they
+  // stay valid across node allocations. The walk streams over the item,
+  // support and link arrays only — the SoA layout keeps the cold
+  // step/trans fields off those cache lines.
   isect_stack_.clear();
-  isect_stack_.push_back(IsectFrame{node, ins});
+  isect_stack_.push_back(IsectFrame{node, ins_slot});
   while (!isect_stack_.empty()) {
     node = isect_stack_.back().node;
-    ins = isect_stack_.back().ins;
+    uint32_t ins = isect_stack_.back().ins_slot;
     isect_stack_.pop_back();
     while (node != kNil) {
       ++isect_steps_;
-      const ItemId i = At(node).item;
+      const ItemId i = node_item_[node];
       if (in_transaction_[i]) {
         // The item is in the intersection: find/create the node that
         // represents the extended intersection in the insertion list.
-        while (*ins != kNil && At(*ins).item > i) ins = &At(*ins).sibling;
-        uint32_t d = *ins;
-        if (d != kNil && At(d).item == i) {
-          Node& dn = At(d);
+        while (links_[ins] != kNil && node_item_[links_[ins]] > i) {
+          ins = SibSlot(links_[ins]);
+        }
+        uint32_t d = links_[ins];
+        if (d != kNil && node_item_[d] == i) {
           // If this node was already updated for the current transaction,
           // discount it before taking the maximum (Figure 2).
-          if (dn.step == step_) dn.supp -= weight;
-          if (dn.supp < At(node).supp) dn.supp = At(node).supp;
-          dn.supp += weight;
-          dn.step = step_;
+          if (node_step_[d] == step_) node_supp_[d] -= weight;
+          if (node_supp_[d] < node_supp_[node]) {
+            node_supp_[d] = node_supp_[node];
+          }
+          node_supp_[d] += weight;
+          node_step_[d] = step_;
         } else {
-          d = NewNode(i, step_, At(node).supp + weight);
-          At(d).sibling = *ins;
-          *ins = d;
+          d = NewNode(i, step_, node_supp_[node] + weight);
+          links_[SibSlot(d)] = links_[ins];
+          links_[ins] = d;
         }
         if (i <= imin_) break;  // nothing below the transaction's minimum
         // Descend into the child level; resume the remaining siblings
         // (with the insertion cursor as advanced so far) afterwards.
-        isect_stack_.push_back(IsectFrame{At(node).sibling, ins});
-        uint32_t* child_ins = &At(d).children;
-        node = At(node).children;
+        isect_stack_.push_back(IsectFrame{links_[SibSlot(node)], ins});
+        const uint32_t child_ins = ChildSlot(d);
+        node = links_[ChildSlot(node)];
         ins = child_ins;
       } else {
         if (i <= imin_) break;
-        isect_stack_.push_back(IsectFrame{At(node).sibling, ins});
-        node = At(node).children;
+        isect_stack_.push_back(IsectFrame{links_[SibSlot(node)], ins});
+        node = links_[ChildSlot(node)];
       }
     }
   }
@@ -136,26 +144,27 @@ void IstaPrefixTree::Report(Support min_support,
   std::vector<Frame> stack;
   std::vector<ItemId> path;       // root path, descending item codes
   std::vector<ItemId> ascending;  // scratch reused across reported sets
-  for (uint32_t c = At(kRoot).children; c != kNil; c = At(c).sibling) {
-    if (At(c).supp < min_support) continue;
-    path.push_back(At(c).item);
-    stack.push_back(Frame{c, At(c).children, 0});
+  for (uint32_t c = links_[ChildSlot(kRoot)]; c != kNil;
+       c = links_[SibSlot(c)]) {
+    if (node_supp_[c] < min_support) continue;
+    path.push_back(node_item_[c]);
+    stack.push_back(Frame{c, links_[ChildSlot(c)], 0});
     while (!stack.empty()) {
       Frame& frame = stack.back();
       if (frame.child != kNil) {
         const uint32_t child = frame.child;
-        const Support cs = At(child).supp;
-        frame.child = At(child).sibling;
+        const Support cs = node_supp_[child];
+        frame.child = links_[SibSlot(child)];
         if (cs > frame.max_child) frame.max_child = cs;
         if (cs < min_support) continue;
-        path.push_back(At(child).item);
-        stack.push_back(Frame{child, At(child).children, 0});
+        path.push_back(node_item_[child]);
+        stack.push_back(Frame{child, links_[ChildSlot(child)], 0});
         continue;
       }
-      if (At(frame.node).supp > frame.max_child) {
+      if (node_supp_[frame.node] > frame.max_child) {
         // The path is in descending code order; report ascending.
         ascending.assign(path.rbegin(), path.rend());
-        callback(ascending, At(frame.node).supp);
+        callback(ascending, node_supp_[frame.node]);
       }
       path.pop_back();
       stack.pop_back();
@@ -193,8 +202,8 @@ void IstaPrefixTree::Merge(const IstaPrefixTree& other, Support min_support,
   // both sides may have been pruned (Prune preserves exact supports for
   // every set that can still be frequent); this is what lets the shard
   // repositories of the parallel driver prune independently.
-  std::vector<Support> aside(next_index_);
-  for (uint32_t n = 0; n < next_index_; ++n) aside[n] = At(n).supp;
+  std::vector<Support> aside(node_supp_.begin(),
+                             node_supp_.begin() + next_index_);
   uint32_t frozen = next_index_;
   total_weight_ += other.total_weight_;
   if (other.step_ > step_) step_ = other.step_;
@@ -223,14 +232,14 @@ void IstaPrefixTree::Merge(const IstaPrefixTree& other, Support min_support,
     // sets keeps the replay linear in the closed family — in particular a
     // single deep chain replays one set, not one per prefix.
     Support max_child = 0;
-    for (uint32_t c = other.At(n).children; c != kNil;
-         c = other.At(c).sibling) {
-      if (other.At(c).supp > max_child) max_child = other.At(c).supp;
+    for (uint32_t c = other.links_[ChildSlot(n)]; c != kNil;
+         c = other.links_[SibSlot(c)]) {
+      if (other.node_supp_[c] > max_child) max_child = other.node_supp_[c];
     }
-    if (other.At(n).supp <= max_child) return;
+    if (other.node_supp_[n] <= max_child) return;
     ascending.assign(path.rbegin(), path.rend());
-    ReplayStoredSet(ascending, other.At(n).supp, other.At(n).trans, frozen,
-                    &aside);
+    ReplayStoredSet(ascending, other.node_supp_[n], other.node_trans_[n],
+                    frozen, &aside);
     if (pruning && node_count_ > threshold) {
       // Prune against the occurrences outside this tree's own pre-merge
       // stream: that bound counts the other repository's support mass as
@@ -239,8 +248,8 @@ void IstaPrefixTree::Merge(const IstaPrefixTree& other, Support min_support,
       fresh.step_ = step_;
       fresh.total_weight_ = total_weight_;
       std::vector<Support> fresh_aside(1, 0);  // index 0: pseudo-root
-      PruneInto(At(kRoot).children, min_support, remaining, &fresh, kRoot,
-                &aside, &fresh_aside);
+      PruneInto(links_[ChildSlot(kRoot)], min_support, remaining, &fresh,
+                kRoot, &aside, &fresh_aside);
       fresh.peak_node_count_ =
           std::max(peak_node_count_, fresh.peak_node_count_);
       fresh.prune_count_ = prune_count_ + 1;
@@ -251,11 +260,11 @@ void IstaPrefixTree::Merge(const IstaPrefixTree& other, Support min_support,
       threshold = std::max(threshold, 2 * NodeCount());
     }
   };
-  for (uint32_t c = other.At(kRoot).children; c != kNil;
-       c = other.At(c).sibling) {
-    path.push_back(other.At(c).item);
+  for (uint32_t c = other.links_[ChildSlot(kRoot)]; c != kNil;
+       c = other.links_[SibSlot(c)]) {
+    path.push_back(other.node_item_[c]);
     replay(c);
-    stack.push_back(Frame{c, other.At(c).children});
+    stack.push_back(Frame{c, other.links_[ChildSlot(c)]});
     while (!stack.empty()) {
       Frame& frame = stack.back();
       if (frame.child == kNil) {
@@ -264,10 +273,10 @@ void IstaPrefixTree::Merge(const IstaPrefixTree& other, Support min_support,
         continue;
       }
       const uint32_t child = frame.child;
-      frame.child = other.At(child).sibling;
-      path.push_back(other.At(child).item);
+      frame.child = other.links_[SibSlot(child)];
+      path.push_back(other.node_item_[child]);
       replay(child);
-      stack.push_back(Frame{child, other.At(child).children});
+      stack.push_back(Frame{child, other.links_[ChildSlot(child)]});
     }
   }
   FIM_DCHECK_OK(ValidateInvariants());
@@ -290,16 +299,17 @@ void IstaPrefixTree::ReplayStoredSet(std::span<const ItemId> items,
   for (std::size_t idx = items.size(); idx > 0; --idx) {
     current = FindOrCreateChild(current, items[idx - 1], 0);
     if (aside->size() < next_index_) aside->resize(next_index_, 0);
-    Node& n = At(current);
-    if (other_supp > n.supp) n.supp = other_supp;
+    if (other_supp > node_supp_[current]) node_supp_[current] = other_supp;
   }
-  At(current).trans += other_trans;
-  IsectMax(At(kRoot).children, &At(kRoot).children, other_supp, frozen, aside);
+  node_trans_[current] += other_trans;
+  IsectMax(links_[ChildSlot(kRoot)], ChildSlot(kRoot), other_supp, frozen,
+           aside);
   for (ItemId i : items) in_transaction_[i] = 0;
 }
 
-void IstaPrefixTree::IsectMax(uint32_t node, uint32_t* ins, Support other_supp,
-                              uint32_t frozen, std::vector<Support>* aside) {
+void IstaPrefixTree::IsectMax(uint32_t node, uint32_t ins_slot,
+                              Support other_supp, uint32_t frozen,
+                              std::vector<Support>* aside) {
   // The walk of Isect with the additive update replaced by a max with
   // aside(S) + other_supp. Only nodes frozen by the last (re)freeze act
   // as stored sets S: newer nodes' intersections are already covered by
@@ -307,42 +317,43 @@ void IstaPrefixTree::IsectMax(uint32_t node, uint32_t* ins, Support other_supp,
   // whole new subtrees are skipped. No step stamps are needed: max is
   // idempotent, unlike the additive update of a transaction pass.
   isect_stack_.clear();
-  isect_stack_.push_back(IsectFrame{node, ins});
+  isect_stack_.push_back(IsectFrame{node, ins_slot});
   while (!isect_stack_.empty()) {
     node = isect_stack_.back().node;
-    ins = isect_stack_.back().ins;
+    uint32_t ins = isect_stack_.back().ins_slot;
     isect_stack_.pop_back();
     while (node != kNil) {
       ++isect_steps_;
       if (node >= frozen) {  // created since the last freeze: not a source
-        node = At(node).sibling;
+        node = links_[SibSlot(node)];
         continue;
       }
-      const ItemId i = At(node).item;
+      const ItemId i = node_item_[node];
       if (in_transaction_[i]) {
         const Support source_aside = (*aside)[node];
         const Support candidate = source_aside + other_supp;
-        while (*ins != kNil && At(*ins).item > i) ins = &At(*ins).sibling;
-        uint32_t d = *ins;
-        if (d != kNil && At(d).item == i) {
-          Node& dn = At(d);
-          if (candidate > dn.supp) dn.supp = candidate;
+        while (links_[ins] != kNil && node_item_[links_[ins]] > i) {
+          ins = SibSlot(links_[ins]);
+        }
+        uint32_t d = links_[ins];
+        if (d != kNil && node_item_[d] == i) {
+          if (candidate > node_supp_[d]) node_supp_[d] = candidate;
           if (source_aside > (*aside)[d]) (*aside)[d] = source_aside;
         } else {
           d = NewNode(i, 0, candidate);
           aside->push_back(source_aside);
-          At(d).sibling = *ins;
-          *ins = d;
+          links_[SibSlot(d)] = links_[ins];
+          links_[ins] = d;
         }
         if (i <= imin_) break;  // nothing below the set's minimum item
-        isect_stack_.push_back(IsectFrame{At(node).sibling, ins});
-        uint32_t* child_ins = &At(d).children;
-        node = At(node).children;
+        isect_stack_.push_back(IsectFrame{links_[SibSlot(node)], ins});
+        const uint32_t child_ins = ChildSlot(d);
+        node = links_[ChildSlot(node)];
         ins = child_ins;
       } else {
         if (i <= imin_) break;
-        isect_stack_.push_back(IsectFrame{At(node).sibling, ins});
-        node = At(node).children;
+        isect_stack_.push_back(IsectFrame{links_[SibSlot(node)], ins});
+        node = links_[ChildSlot(node)];
       }
     }
   }
@@ -356,7 +367,7 @@ void IstaPrefixTree::Prune(Support min_support,
   IstaPrefixTree fresh(in_transaction_.size());
   fresh.step_ = step_;
   fresh.total_weight_ = total_weight_;
-  PruneInto(At(kRoot).children, min_support, remaining, &fresh, kRoot);
+  PruneInto(links_[ChildSlot(kRoot)], min_support, remaining, &fresh, kRoot);
   // The rebuilt tree carries on this tree's observability history.
   fresh.peak_node_count_ = std::max(peak_node_count_, fresh.peak_node_count_);
   fresh.prune_count_ = prune_count_ + 1;
@@ -393,14 +404,14 @@ Status IstaPrefixTree::ValidateInvariants() const {
   while (!stack.empty()) {
     auto [head, parent] = stack.back();
     stack.pop_back();
-    const Node& parent_node = At(parent);
+    const ConstNodeRef parent_node = At(parent);
     ItemId prev_item = kInvalidItem;  // sentinel: no left sibling yet
     for (uint32_t n = head; n != kNil; n = At(n).sibling) {
       if (n >= next_index_) {
         return Status::Internal("prefix tree: link to unallocated node " +
                                 std::to_string(n));
       }
-      const Node& node = At(n);
+      const ConstNodeRef node = At(n);
       if (visited[n]) {
         return Status::Internal("prefix tree: " + NodeLabel(n, node.item) +
                                 " reachable twice (cycle or shared subtree)");
@@ -502,28 +513,33 @@ void IstaPrefixTree::PruneInto(uint32_t node, Support min_support,
     node = stack.back().node;
     cursor = stack.back().cursor;
     stack.pop_back();
-    for (; node != kNil; node = At(node).sibling) {
-      const Node& n = At(node);
+    for (; node != kNil; node = links_[SibSlot(node)]) {
+      const ItemId item = node_item_[node];
+      const Support supp = node_supp_[node];
+      const Support trans = node_trans_[node];
       uint32_t next_cursor = cursor;
-      if (n.supp + remaining[n.item] >= min_support) {
+      if (supp + remaining[item] >= min_support) {
         // The item can still contribute to a frequent set: keep it.
-        next_cursor = target->FindOrCreateChild(cursor, n.item, 0);
-        Node& t = target->At(next_cursor);
-        if (n.supp > t.supp) t.supp = n.supp;
-        t.trans += n.trans;
+        next_cursor = target->FindOrCreateChild(cursor, item, 0);
+        if (supp > target->node_supp_[next_cursor]) {
+          target->node_supp_[next_cursor] = supp;
+        }
+        target->node_trans_[next_cursor] += trans;
         merge_aside(node, next_cursor);
       } else if (cursor != kRoot) {
         // Drop the item; the reduced set keeps the best support seen and
         // accumulates the reduced transactions' weight.
-        Node& t = target->At(cursor);
-        if (n.supp > t.supp) t.supp = n.supp;
-        t.trans += n.trans;
+        if (supp > target->node_supp_[cursor]) {
+          target->node_supp_[cursor] = supp;
+        }
+        target->node_trans_[cursor] += trans;
         merge_aside(node, cursor);
       }
       // Transactions whose items are all dropped reduce to the empty set
       // and vanish (the repository never stores empty transactions);
       // their weight can no longer matter for any frequent set.
-      if (n.children != kNil) stack.push_back(Frame{n.children, next_cursor});
+      const uint32_t kids = links_[ChildSlot(node)];
+      if (kids != kNil) stack.push_back(Frame{kids, next_cursor});
     }
   }
 }

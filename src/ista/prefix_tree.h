@@ -156,31 +156,60 @@ class IstaPrefixTree {
  private:
   friend struct IstaPrefixTreeTestPeer;  // corruption hooks for check_test
 
-  struct Node {
-    uint32_t step;      // last update step (0 = never)
-    ItemId item;        // item of this node (kInvalidItem for the root)
-    Support supp;       // support of the set on the root path
-    Support trans;      // accumulated weight of transactions equal to the
-                        // set on the root path (0 for pure intersections);
-                        // exactly the replay weights needed by Merge
-    uint32_t sibling;   // next node in the sibling list (descending items)
-    uint32_t children;  // head of the child list
-  };
+  // Node storage is a structure of arrays: one parallel vector per field,
+  // indexed by node id, plus a single link arena holding both links of a
+  // node in adjacent slots (slot 2n = children of node n, slot 2n+1 = its
+  // sibling). The intersection walks touch only item codes, supports and
+  // links, so splitting the fields keeps the cache lines they stream over
+  // free of the cold step/trans fields, and the unified link arena lets
+  // an insertion cursor be a stable uint32_t slot index instead of a
+  // pointer that vector growth would invalidate.
 
   static constexpr uint32_t kNil = static_cast<uint32_t>(-1);
   static constexpr uint32_t kRoot = 0;
-  static constexpr std::size_t kChunkShift = 16;
-  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
 
-  Node& At(uint32_t index) {
-    return chunks_[index >> kChunkShift][index & (kChunkSize - 1)];
+  /// Link-arena slots of node n. links_[ChildSlot(n)] heads n's child
+  /// list; links_[SibSlot(n)] is n's next sibling.
+  static uint32_t ChildSlot(uint32_t n) { return 2 * n; }
+  static uint32_t SibSlot(uint32_t n) { return 2 * n + 1; }
+
+  /// A view of one node's fields across the parallel arrays, for the
+  /// cold paths (validation, serialization, the test peer) that want the
+  /// old whole-node access. The references follow vector reallocation
+  /// rules: do not hold one across NewNode.
+  struct NodeRef {
+    uint32_t& step;      // last update step (0 = never)
+    ItemId& item;        // item of this node (kInvalidItem for the root)
+    Support& supp;       // support of the set on the root path
+    Support& trans;      // accumulated weight of transactions equal to the
+                         // set on the root path (0 for pure intersections);
+                         // exactly the replay weights needed by Merge
+    uint32_t& sibling;   // next node in the sibling list (descending items)
+    uint32_t& children;  // head of the child list
+  };
+  struct ConstNodeRef {
+    const uint32_t& step;
+    const ItemId& item;
+    const Support& supp;
+    const Support& trans;
+    const uint32_t& sibling;
+    const uint32_t& children;
+  };
+
+  NodeRef At(uint32_t index) {
+    return NodeRef{node_step_[index],          node_item_[index],
+                   node_supp_[index],          node_trans_[index],
+                   links_[SibSlot(index)],     links_[ChildSlot(index)]};
   }
-  const Node& At(uint32_t index) const {
-    return chunks_[index >> kChunkShift][index & (kChunkSize - 1)];
+  ConstNodeRef At(uint32_t index) const {
+    return ConstNodeRef{node_step_[index],      node_item_[index],
+                        node_supp_[index],      node_trans_[index],
+                        links_[SibSlot(index)], links_[ChildSlot(index)]};
   }
 
-  /// Allocates a node; node addresses are stable (chunked storage), so
-  /// uint32_t* links into nodes survive allocation.
+  /// Allocates a node. Node ids and link-arena slot indices are stable
+  /// across allocation (they are indices, not pointers); references and
+  /// NodeRefs are not.
   uint32_t NewNode(ItemId item, uint32_t step, Support supp);
 
   /// Inserts the transaction as a path (descending item codes), creating
@@ -192,10 +221,10 @@ class IstaPrefixTree {
   /// The recursion of Figure 2, run on an explicit stack so adversarially
   /// deep repositories (one node per item of a very long transaction)
   /// cannot overflow the call stack. `node` heads a sibling list of the
-  /// current tree level; `ins` points at the link (children/sibling slot)
-  /// where intersection results for the current prefix are merged.
-  /// `weight` is the multiplicity of the current transaction.
-  void Isect(uint32_t node, uint32_t* ins, Support weight);
+  /// current tree level; `ins_slot` indexes the link-arena slot
+  /// (children/sibling) where intersection results for the current prefix
+  /// are merged. `weight` is the multiplicity of the current transaction.
+  void Isect(uint32_t node, uint32_t ins_slot, Support weight);
 
   /// Merge helper: replays one stored set of the other repository
   /// (`other_supp`/`other_trans` are its support and transaction weight
@@ -212,7 +241,7 @@ class IstaPrefixTree {
   /// frozen stored set S compatible with the current replayed set, the
   /// node of the intersection is raised to aside[S] + other_supp (and its
   /// own aside to aside[S]).
-  void IsectMax(uint32_t node, uint32_t* ins, Support other_supp,
+  void IsectMax(uint32_t node, uint32_t ins_slot, Support other_supp,
                 uint32_t frozen, std::vector<Support>* aside);
 
   /// Prune helper: re-inserts the filtered sets of the subtree headed by
@@ -231,14 +260,19 @@ class IstaPrefixTree {
   /// sibling list sorted by descending item code.
   uint32_t FindOrCreateChild(uint32_t parent, ItemId item, Support supp);
 
-  /// One suspended sibling list of the explicit Isect stack. `ins` points
-  /// into node storage, which is chunk-stable across allocations.
+  /// One suspended sibling list of the explicit Isect stack. `ins_slot`
+  /// indexes the link arena, so it stays valid across node allocation.
   struct IsectFrame {
     uint32_t node;
-    uint32_t* ins;
+    uint32_t ins_slot;
   };
 
-  std::vector<std::vector<Node>> chunks_;
+  // Structure-of-arrays node storage (see the layout note above).
+  std::vector<uint32_t> node_step_;
+  std::vector<ItemId> node_item_;
+  std::vector<Support> node_supp_;
+  std::vector<Support> node_trans_;
+  std::vector<uint32_t> links_;  // slot 2n: children of n, 2n+1: sibling
   uint32_t next_index_ = 0;
   std::size_t node_count_ = 0;
   std::size_t peak_node_count_ = 0;

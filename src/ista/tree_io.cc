@@ -55,7 +55,7 @@ Status IstaPrefixTree::SerializeTo(std::ostream& out) const {
   WritePod(out, static_cast<uint64_t>(prune_count_));
   WritePod(out, isect_steps_);
   for (uint32_t n = 0; n < next_index_; ++n) {
-    const Node& node = At(n);
+    const ConstNodeRef node = At(n);
     WritePod(out, node.step);
     WritePod(out, node.item);
     WritePod(out, node.supp);
@@ -106,24 +106,36 @@ Result<IstaPrefixTree> IstaPrefixTree::Deserialize(std::istream& in) {
   }
 
   IstaPrefixTree tree(static_cast<std::size_t>(num_items));
-  tree.chunks_.clear();
+  tree.node_step_.clear();
+  tree.node_item_.clear();
+  tree.node_supp_.clear();
+  tree.node_trans_.clear();
+  tree.links_.clear();
   tree.next_index_ = 0;
   // Nodes are read one at a time with a short-read check each, so a
-  // truncated blob fails cleanly before any header-sized allocation.
+  // truncated blob fails cleanly before any header-sized allocation. The
+  // on-disk record order (step, item, supp, trans, sibling, children) is
+  // fixed by the format; the in-memory structure-of-arrays layout is
+  // filled field by field.
   for (uint32_t n = 0; n < next_index; ++n) {
-    Node node;
-    if (!ReadPod(in, &node.step) || !ReadPod(in, &node.item) ||
-        !ReadPod(in, &node.supp) || !ReadPod(in, &node.trans) ||
-        !ReadPod(in, &node.sibling) || !ReadPod(in, &node.children)) {
+    uint32_t node_step = 0;
+    ItemId item = 0;
+    Support supp = 0;
+    Support trans = 0;
+    uint32_t sibling = 0;
+    uint32_t children = 0;
+    if (!ReadPod(in, &node_step) || !ReadPod(in, &item) ||
+        !ReadPod(in, &supp) || !ReadPod(in, &trans) ||
+        !ReadPod(in, &sibling) || !ReadPod(in, &children)) {
       return Corrupt("truncated at node " + std::to_string(n) + " of " +
                      std::to_string(next_index));
     }
-    if ((tree.next_index_ & (kChunkSize - 1)) == 0 &&
-        (tree.next_index_ >> kChunkShift) == tree.chunks_.size()) {
-      tree.chunks_.emplace_back();
-      tree.chunks_.back().reserve(kChunkSize);
-    }
-    tree.chunks_[tree.next_index_ >> kChunkShift].push_back(node);
+    tree.node_step_.push_back(node_step);
+    tree.node_item_.push_back(item);
+    tree.node_supp_.push_back(supp);
+    tree.node_trans_.push_back(trans);
+    tree.links_.push_back(children);  // ChildSlot(n)
+    tree.links_.push_back(sibling);   // SibSlot(n)
     ++tree.next_index_;
   }
   tree.node_count_ = static_cast<std::size_t>(node_count);

@@ -1,0 +1,137 @@
+// SSSE3 shuffle-based sorted-u32 intersection tier. The block kernel is
+// the classic branch-light scheme (Schlegel et al.; PISA's and Lemire's
+// intersection libraries use the same shape): load 4 elements from each
+// list, compare all 16 pairs with three cyclic rotations, turn the match
+// mask into a left-packing shuffle through a 16-entry lookup table, and
+// advance whichever block ends lower. Tails fall back to the scalar
+// merge. Compiled with -mssse3 (see src/CMakeLists.txt); the runtime
+// dispatcher never hands this tier to a CPU without SSSE3.
+
+#include "kernels/intersect.h"
+
+#if defined(__SSSE3__)
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstring>
+
+namespace fim::kernels {
+
+namespace {
+
+// Left-packing shuffles: entry m rearranges the 4 u32 lanes so that the
+// lanes whose bit is set in m come first, in order. Built at compile
+// time; 16 entries x 16 bytes.
+struct ShuffleTable {
+  alignas(16) unsigned char bytes[16][16];
+};
+
+constexpr ShuffleTable BuildShuffleTable() {
+  ShuffleTable table{};
+  for (int mask = 0; mask < 16; ++mask) {
+    int out_lane = 0;
+    for (int lane = 0; lane < 4; ++lane) {
+      if ((mask >> lane) & 1) {
+        for (int byte = 0; byte < 4; ++byte) {
+          table.bytes[mask][out_lane * 4 + byte] =
+              static_cast<unsigned char>(lane * 4 + byte);
+        }
+        ++out_lane;
+      }
+    }
+    // Unused trailing lanes copy lane 0; they are never stored past the
+    // popcount-advanced cursor.
+    for (; out_lane < 4; ++out_lane) {
+      for (int byte = 0; byte < 4; ++byte) {
+        table.bytes[mask][out_lane * 4 + byte] =
+            static_cast<unsigned char>(byte);
+      }
+    }
+  }
+  return table;
+}
+
+constexpr ShuffleTable kShuffles = BuildShuffleTable();
+
+std::size_t SseIntersect(const std::uint32_t* a, std::size_t na,
+                         const std::uint32_t* b, std::size_t nb,
+                         std::uint32_t* out) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t k = 0;
+  while (i + 4 <= na && j + 4 <= nb) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    // All-pairs equality: compare va against vb rotated by 0..3 lanes.
+    const __m128i rot1 = _mm_alignr_epi8(vb, vb, 4);
+    const __m128i rot2 = _mm_alignr_epi8(vb, vb, 8);
+    const __m128i rot3 = _mm_alignr_epi8(vb, vb, 12);
+    __m128i eq = _mm_cmpeq_epi32(va, vb);
+    eq = _mm_or_si128(eq, _mm_cmpeq_epi32(va, rot1));
+    eq = _mm_or_si128(eq, _mm_cmpeq_epi32(va, rot2));
+    eq = _mm_or_si128(eq, _mm_cmpeq_epi32(va, rot3));
+    const int mask = _mm_movemask_ps(_mm_castsi128_ps(eq));
+    const __m128i shuffle = _mm_load_si128(
+        reinterpret_cast<const __m128i*>(kShuffles.bytes[mask]));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + k),
+                     _mm_shuffle_epi8(va, shuffle));
+    k += static_cast<std::size_t>(std::popcount(static_cast<unsigned>(mask)));
+    // Advance the block that ends lower (both when equal): every element
+    // still unmatched in it is smaller than the other block's remainder.
+    const std::uint32_t a_max = a[i + 3];
+    const std::uint32_t b_max = b[j + 3];
+    if (a_max <= b_max) i += 4;
+    if (b_max <= a_max) j += 4;
+  }
+  // Scalar merge over the tails.
+  while (i < na && j < nb) {
+    const std::uint32_t va = a[i];
+    const std::uint32_t vb = b[j];
+    if (va < vb) {
+      ++i;
+    } else if (vb < va) {
+      ++j;
+    } else {
+      out[k++] = va;
+      ++i;
+      ++j;
+    }
+  }
+  CountCall(na + nb, k);
+  return k;
+}
+
+constexpr IntersectKernel kSseKernel = {
+    KernelId::kSse, "sse",
+    &SseIntersect,
+    // Word-AND and the matrix-row filter gain little below AVX2; reuse
+    // the scalar routines so the tier table stays total.
+    nullptr, nullptr,
+};
+
+}  // namespace
+
+const IntersectKernel* SseKernel() {
+  static const IntersectKernel kernel = [] {
+    IntersectKernel k = kSseKernel;
+    k.bitset_and = ScalarKernel()->bitset_and;
+    k.filter_nonzero = ScalarKernel()->filter_nonzero;
+    return k;
+  }();
+  return &kernel;
+}
+
+}  // namespace fim::kernels
+
+#else  // !defined(__SSSE3__)
+
+namespace fim::kernels {
+
+const IntersectKernel* SseKernel() { return nullptr; }
+
+}  // namespace fim::kernels
+
+#endif  // defined(__SSSE3__)

@@ -24,6 +24,9 @@ void MinerStats::MergeFrom(const MinerStats& other) {
   conditional_trees += other.conditional_trees;
   candidate_sets += other.candidate_sets;
   sets_reported += other.sets_reported;
+  kernel_calls += other.kernel_calls;
+  kernel_elements_in += other.kernel_elements_in;
+  kernel_elements_out += other.kernel_elements_out;
 }
 
 std::vector<std::pair<const char*, std::uint64_t>> MinerStats::Counters()
@@ -45,6 +48,9 @@ std::vector<std::pair<const char*, std::uint64_t>> MinerStats::Counters()
       {"conditional_trees", conditional_trees},
       {"candidate_sets", candidate_sets},
       {"sets_reported", sets_reported},
+      {"kernel_calls", kernel_calls},
+      {"kernel_elements_in", kernel_elements_in},
+      {"kernel_elements_out", kernel_elements_out},
   };
 }
 

@@ -53,6 +53,14 @@ struct MinerStats {
   // --- universal --------------------------------------------------------
   std::size_t sets_reported = 0;  // closed sets delivered to the callback
 
+  // --- intersection kernels (every family; see src/kernels/ and
+  //     docs/PERFORMANCE.md). Filled by MineClosed as the delta of the
+  //     process-wide kernel counters across the run, so per-family entry
+  //     points called directly leave them zero. --------------------------
+  std::size_t kernel_calls = 0;         // dispatched kernel invocations
+  std::size_t kernel_elements_in = 0;   // input elements streamed
+  std::size_t kernel_elements_out = 0;  // result elements produced
+
   /// Aggregates a worker's (or merge stage's) snapshot into this one:
   /// peak_nodes and final_nodes take the maximum, everything else sums.
   void MergeFrom(const MinerStats& other);

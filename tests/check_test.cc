@@ -18,14 +18,16 @@
 namespace fim {
 
 // Friend of IstaPrefixTree: surgical access to node fields for breaking
-// invariants on purpose.
+// invariants on purpose. Since the tree stores its nodes as a structure
+// of arrays, At returns a NodeRef view (reference members into the
+// parallel arrays) rather than a reference to a node struct.
 struct IstaPrefixTreeTestPeer {
-  using Node = IstaPrefixTree::Node;
+  using NodeRef = IstaPrefixTree::NodeRef;
 
   static constexpr uint32_t kNil = IstaPrefixTree::kNil;
   static constexpr uint32_t kRoot = IstaPrefixTree::kRoot;
 
-  static Node& At(IstaPrefixTree& tree, uint32_t index) {
+  static NodeRef At(IstaPrefixTree& tree, uint32_t index) {
     return tree.At(index);
   }
   static uint32_t FirstChild(IstaPrefixTree& tree, uint32_t node) {

@@ -262,13 +262,16 @@ TEST(MinerStatsTest, CountersCatalogIsCompleteAndStable) {
   MinerStats stats;
   stats.isect_steps = 1;
   stats.sets_reported = 2;
+  stats.kernel_elements_out = 3;
   const auto counters = stats.Counters();
   // Full catalog, zeros included, stable order.
-  ASSERT_EQ(counters.size(), 16u);
+  ASSERT_EQ(counters.size(), 19u);
   EXPECT_STREQ(counters.front().first, "isect_steps");
   EXPECT_EQ(counters.front().second, 1u);
-  EXPECT_STREQ(counters.back().first, "sets_reported");
-  EXPECT_EQ(counters.back().second, 2u);
+  EXPECT_STREQ(counters[15].first, "sets_reported");
+  EXPECT_EQ(counters[15].second, 2u);
+  EXPECT_STREQ(counters.back().first, "kernel_elements_out");
+  EXPECT_EQ(counters.back().second, 3u);
 
   obs::MetricRegistry registry;
   stats.ExportTo(&registry);

@@ -3,8 +3,8 @@
 // programs.
 //
 //   fim-mine [-a algorithm] [-s minsupp | -S percent] [-t threads] [-m] [-q]
-//            [--stats[=text|json]] [--stats-out=PATH] [--trace-out=PATH]
-//            input [output]
+//            [--kernel=NAME] [--stats[=text|json]] [--stats-out=PATH]
+//            [--trace-out=PATH] input [output]
 //
 //   -a NAME   ista | carpenter-lists | carpenter-table | flat-cumulative |
 //             fpclose | lcm | charm | transposed | cobbler (default: ista)
@@ -14,6 +14,12 @@
 //             sequential run                      (default: 1)
 //   -m        report only maximal frequent item sets
 //   -q        quiet: no stats on stderr
+//   --kernel=NAME
+//             pin the intersection-kernel tier (scalar | sse | avx2)
+//             instead of auto-selecting by CPUID; same effect as the
+//             FIM_KERNEL environment variable, but an unsupported name
+//             is a hard error here rather than a fallback. Output is
+//             bit-identical across tiers (see docs/PERFORMANCE.md).
 //   --stats[=text|json]
 //             emit an execution-statistics report (per-phase spans +
 //             per-miner counters, see docs/OBSERVABILITY.md) after
@@ -43,6 +49,7 @@
 
 #include "api/miner.h"
 #include "common/timer.h"
+#include "kernels/intersect.h"
 #include "data/binary_io.h"
 #include "data/fimi_io.h"
 #include "data/stats.h"
@@ -57,7 +64,7 @@ namespace {
 void Usage() {
   std::fprintf(stderr,
                "usage: fim-mine [-a algorithm] [-s minsupp | -S percent] "
-               "[-t threads] [-m] [-q] [--stats[=text|json]] "
+               "[-t threads] [-m] [-q] [--kernel=NAME] [--stats[=text|json]] "
                "[--stats-out=PATH] [--trace-out=PATH] input [output]\n");
 }
 
@@ -108,6 +115,19 @@ int main(int argc, char** argv) {
       maximal_only = true;
     } else if (std::strcmp(arg, "-q") == 0) {
       quiet = true;
+    } else if (std::strncmp(arg, "--kernel=", 9) == 0) {
+      const char* name = arg + 9;
+      if (!kernels::ForceKernel(name)) {
+        std::fprintf(stderr,
+                     "error: --kernel=%s is unknown or not supported on this "
+                     "CPU; available:",
+                     name);
+        for (const auto* kernel : kernels::AvailableKernels()) {
+          std::fprintf(stderr, " %s", kernel->name);
+        }
+        std::fprintf(stderr, "\n");
+        return 2;
+      }
     } else if (obs_flags.Parse(arg)) {
       // one of --stats / --stats-out / --trace-out
     } else if (std::strcmp(arg, "-h") == 0 ||
