@@ -8,17 +8,23 @@
 //              sorted-list merge at the TidSet density cutover
 //
 // Writes the committed BENCH_kernels.json report (schema
-// fim-bench-kernels-v1): top level records hardware_threads and the
-// CPU feature flags the numbers were measured under; each point carries
-// the operation, series (kernel tier), shape, and the measured
-// million-elements-per-second throughput. Regenerate with
+// fim-bench-kernels-v1): top level records hardware_threads, the CPU
+// feature flags the numbers were measured under, and whether hardware
+// counters were readable; each point carries the operation, series
+// (kernel tier), shape, the measured million-elements-per-second
+// throughput, and a "perf" object with the kernel's IPC and LLC miss
+// rate over the timed loop — numbers where perf_event_open works, null
+// on denied hosts (VMs without a virtualized PMU, perf_event_paranoid),
+// so the schema is identical everywhere. Regenerate with
 //
 //   ./build/bench/bench_kernels --json=BENCH_kernels.json
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -27,6 +33,7 @@
 #include "common/rng.h"
 #include "common/timer.h"
 #include "kernels/intersect.h"
+#include "obs/perf.h"
 
 namespace {
 
@@ -54,22 +61,58 @@ struct Point {
   double seconds_per_call = 0.0;
   double melems_per_sec = 0.0;
   std::size_t out_elems = 0;
+  // NaN = not measured (PMU denied); rendered as JSON null, never 0.
+  double ipc = std::numeric_limits<double>::quiet_NaN();
+  double llc_miss_rate = std::numeric_limits<double>::quiet_NaN();
 };
+
+/// One counter group for the whole bench (single-threaded, so one
+/// per-thread group covers every timed loop); unavailable on hosts
+/// without PMU access, in which case the perf fields stay NaN/null.
+obs::PerfCounterSet& BenchCounters() {
+  static obs::PerfCounterSet& counters = []() -> obs::PerfCounterSet& {
+    auto* set = new obs::PerfCounterSet();
+    set->Start();
+    return *set;
+  }();
+  return counters;
+}
 
 /// Repeats `call` (which returns the per-call element count) until the
 /// measurement is long enough to trust, and returns seconds per call.
+/// The final (longest) timed loop's hardware-counter delta lands in
+/// `point`'s ipc / llc_miss_rate — measured over exactly the iterations
+/// that produced the reported throughput number.
 template <typename Fn>
-double TimeCall(Fn&& call) {
+double TimeCall(Point* point, Fn&& call) {
   call();  // warm up (page in buffers, prime the branch predictors)
+  obs::PerfCounterSet& counters = BenchCounters();
   std::size_t iters = 1;
   for (;;) {
+    const obs::PerfCounts before = counters.Read();
     WallTimer timer;
     for (std::size_t i = 0; i < iters; ++i) call();
     const double seconds = timer.Seconds();
     if (seconds > 0.02 || iters > (std::size_t{1} << 24)) {
+      if (counters.available()) {
+        const obs::PerfCounts delta = counters.Read().DeltaSince(before);
+        point->ipc = delta.Ipc();
+        point->llc_miss_rate = delta.LlcMissRate();
+      }
       return seconds / static_cast<double>(iters);
     }
     iters *= 4;
+  }
+}
+
+/// A rate cell: "%.4f" where measured, "null" where the PMU was denied.
+void AppendRate(std::ofstream& out, double value) {
+  if (std::isfinite(value)) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.4f", value);
+    out << buf;
+  } else {
+    out << "null";
   }
 }
 
@@ -93,7 +136,11 @@ void WritePoint(std::ofstream& out, const Point& p, bool last) {
   std::snprintf(thr, sizeof thr, "%.1f", p.melems_per_sec);
   out << ", \"seconds\": " << sec << ", \"melems_per_sec\": " << thr
       << ", \"ran\": true, \"counters\": {\"out_elems\": " << p.out_elems
-      << "}}" << (last ? "" : ",") << "\n";
+      << "}, \"perf\": {\"ipc\": ";
+  AppendRate(out, p.ipc);
+  out << ", \"llc_miss_rate\": ";
+  AppendRate(out, p.llc_miss_rate);
+  out << "}}" << (last ? "" : ",") << "\n";
 }
 
 }  // namespace
@@ -119,11 +166,11 @@ int main(int argc, char** argv) {
     U32s out(std::min(a.size(), b.size()) + kernels::kIntersectPad);
     for (const kernels::IntersectKernel* kernel : kernels) {
       std::size_t produced = 0;
-      const double seconds = TimeCall([&] {
+      Point p{"intersect", kernel->name, a.size(), b.size()};
+      const double seconds = TimeCall(&p, [&] {
         produced = kernel->intersect(a.data(), a.size(), b.data(), b.size(),
                                      out.data());
       });
-      Point p{"intersect", kernel->name, a.size(), b.size()};
       p.seconds_per_call = seconds;
       p.melems_per_sec =
           static_cast<double>(a.size() + b.size()) / seconds / 1e6;
@@ -145,11 +192,11 @@ int main(int argc, char** argv) {
       U32s out(std::min(a.size(), b.size()) + kernels::kIntersectPad);
       for (const kernels::IntersectKernel* kernel : kernels) {
         std::size_t produced = 0;
-        const double seconds = TimeCall([&] {
+        Point p{"intersect", kernel->name, a.size(), b.size()};
+        const double seconds = TimeCall(&p, [&] {
           produced = kernel->intersect(a.data(), a.size(), b.data(), b.size(),
                                        out.data());
         });
-        Point p{"intersect", kernel->name, a.size(), b.size()};
         p.seconds_per_call = seconds;
         p.melems_per_sec =
             static_cast<double>(a.size() + b.size()) / seconds / 1e6;
@@ -158,11 +205,11 @@ int main(int argc, char** argv) {
       }
       {
         std::size_t produced = 0;
-        const double seconds = TimeCall([&] {
+        Point p{"gallop", "gallop", a.size(), b.size()};
+        const double seconds = TimeCall(&p, [&] {
           produced = kernels::GallopIntersect(a.data(), a.size(), b.data(),
                                               b.size(), out.data());
         });
-        Point p{"gallop", "gallop", a.size(), b.size()};
         p.seconds_per_call = seconds;
         // Same denominator as the merges so the series are comparable.
         p.melems_per_sec =
@@ -186,10 +233,10 @@ int main(int argc, char** argv) {
     for (auto& w : wb) w = rng.Next() | rng.Next();
     for (const kernels::IntersectKernel* kernel : kernels) {
       std::size_t produced = 0;
-      const double seconds = TimeCall([&] {
+      Point p{"bitset_and", kernel->name, universe, universe};
+      const double seconds = TimeCall(&p, [&] {
         produced = kernel->bitset_and(wa.data(), wb.data(), words, wout.data());
       });
-      Point p{"bitset_and", kernel->name, universe, universe};
       p.density = 0.5;
       p.seconds_per_call = seconds;
       p.melems_per_sec = static_cast<double>(2 * universe) / seconds / 1e6;
@@ -204,12 +251,12 @@ int main(int argc, char** argv) {
     U32s out(std::min(a.size(), b.size()) + kernels::kIntersectPad);
     const kernels::IntersectKernel* best = kernels.back();
     std::size_t produced = 0;
-    const double seconds = TimeCall([&] {
+    Point p{"intersect", std::string(best->name) + "-dense", a.size(),
+            b.size()};
+    const double seconds = TimeCall(&p, [&] {
       produced =
           best->intersect(a.data(), a.size(), b.data(), b.size(), out.data());
     });
-    Point p{"intersect", std::string(best->name) + "-dense", a.size(),
-            b.size()};
     p.density = 0.5;
     p.seconds_per_call = seconds;
     p.melems_per_sec = static_cast<double>(a.size() + b.size()) / seconds / 1e6;
@@ -235,6 +282,8 @@ int main(int argc, char** argv) {
       << ", \"avx2\": "
       << (kernels::CpuSupports(kernels::KernelId::kAvx2) ? "true" : "false")
       << "},\n";
+  out << "  \"perf_counters\": "
+      << (BenchCounters().available() ? "true" : "false") << ",\n";
   out << "  \"kernels\": [";
   for (std::size_t i = 0; i < kernels.size(); ++i) {
     out << (i ? ", " : "") << "\"" << kernels[i]->name << "\"";

@@ -34,6 +34,11 @@ SweepResult RunSweep(const TransactionDatabase& db,
         miner.algorithm = algorithm;
         miner.min_support = smin;
         std::size_t count = 0;
+        // One counter group per point: the deltas cover exactly the
+        // mining call, not the generator or the previous point.
+        obs::PerfCounterSet counters;
+        counters.Start();
+        const obs::PerfCounts before = counters.Read();
         WallTimer timer;
         CpuTimer cpu_timer;
         Status status = MineClosed(
@@ -42,6 +47,10 @@ SweepResult RunSweep(const TransactionDatabase& db,
             &point.stats);
         point.seconds = timer.Seconds();
         point.cpu_seconds = cpu_timer.Seconds();
+        if (counters.available()) {
+          point.perf = counters.Read().DeltaSince(before);
+          point.hw_valid = true;
+        }
         if (status.ok()) {
           point.ran = true;
           point.num_sets = count;
@@ -122,6 +131,16 @@ void WriteCsv(const std::string& path, const SweepResult& result) {
   }
 }
 
+/// `value` or `null` — a rate the host could not measure must stay
+/// distinguishable from a measured 0 in the committed reports.
+static void AppendNumberOrNull(std::ofstream& out, double value) {
+  if (std::isfinite(value)) {
+    out << value;
+  } else {
+    out << "null";
+  }
+}
+
 void WriteJson(const std::string& path, const std::string& bench, double scale,
                const std::vector<JsonPoint>& points) {
   std::ofstream out(path, std::ios::trunc);
@@ -137,6 +156,13 @@ void WriteJson(const std::string& path, const std::string& bench, double scale,
     // The observability payload is appended only when present, so legacy
     // points keep the historical format byte for byte.
     if (p.cpu_seconds > 0.0) out << ", \"cpu_seconds\": " << p.cpu_seconds;
+    if (p.has_perf) {
+      out << ", \"perf\": {\"ipc\": ";
+      AppendNumberOrNull(out, p.perf_ipc);
+      out << ", \"llc_miss_rate\": ";
+      AppendNumberOrNull(out, p.perf_llc_miss_rate);
+      out << "}";
+    }
     if (p.has_stats) {
       out << ", \"counters\": {";
       bool first = true;
@@ -166,6 +192,11 @@ void WriteJson(const std::string& path, const std::string& bench, double scale,
     point.cpu_seconds = p.cpu_seconds;
     point.stats = p.stats;
     point.has_stats = p.ran;
+    point.has_perf = p.ran;
+    if (p.hw_valid) {
+      point.perf_ipc = p.perf.Ipc();
+      point.perf_llc_miss_rate = p.perf.LlcMissRate();
+    }
     points.push_back(std::move(point));
   }
   WriteJson(path, bench, scale, points);

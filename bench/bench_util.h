@@ -1,11 +1,13 @@
 #ifndef FIM_BENCH_BENCH_UTIL_H_
 #define FIM_BENCH_BENCH_UTIL_H_
 
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "api/miner.h"
 #include "data/transaction_database.h"
+#include "obs/perf.h"
 
 namespace fim::bench {
 
@@ -27,6 +29,10 @@ struct SweepPoint {
   bool ran = false;  // false: skipped after the algorithm hit the limit
   double cpu_seconds = 0.0;  // driving thread's CPU time of the run
   MinerStats stats;          // per-miner counters of the run (ran only)
+  /// Hardware counters over the mining call; hw_valid is false where the
+  /// host denies the PMU (the bench still runs, the report carries null).
+  bool hw_valid = false;
+  obs::PerfCounts perf;
 };
 
 struct SweepResult {
@@ -65,6 +71,14 @@ struct JsonPoint {
   double cpu_seconds = 0.0;  // emitted when > 0
   MinerStats stats;          // emitted when has_stats
   bool has_stats = false;
+  /// Hardware-counter payload: with has_perf the point carries a "perf"
+  /// object whose ipc / llc_miss_rate members are numbers where
+  /// measured and null where the host denied the PMU — present-but-null
+  /// keeps the schema identical across hosts, and fim-stats-diff skips
+  /// the nulls instead of comparing fake zeros.
+  bool has_perf = false;
+  double perf_ipc = std::numeric_limits<double>::quiet_NaN();
+  double perf_llc_miss_rate = std::numeric_limits<double>::quiet_NaN();
 };
 
 /// Writes `{"bench": ..., "scale": ..., "hardware_threads": ...,

@@ -71,6 +71,7 @@ Status MineClosedDispatch(const TransactionDatabase& db,
       ista.item_elimination = options.item_elimination;
       ista.num_threads = options.num_threads;
       ista.timeline = options.timeline;
+      ista.perf_domains = options.perf_domains;
       return MineClosedIsta(db, ista, callback, stats, trace);
     }
     case Algorithm::kCarpenterLists:

@@ -15,6 +15,7 @@
 namespace fim {
 
 namespace obs {
+class PerfDomainCollector;
 class Timeline;
 }  // namespace obs
 
@@ -70,6 +71,14 @@ struct MinerOptions {
   /// parallel schedule. Output-neutral like stats/trace. The timeline
   /// must outlive the call.
   obs::Timeline* timeline = nullptr;
+
+  /// Optional per-domain hardware-counter attribution (obs/perf.h):
+  /// every IsTa shard and merge stage records a PerfDomainSample
+  /// (thread CPU + intersection steps, plus PMU deltas when the
+  /// collector has hardware counting enabled and the kernel allows
+  /// it). Feeds the `perf.domains` stats section and the fim-prof
+  /// work-inflation table. Output-neutral; must outlive the call.
+  obs::PerfDomainCollector* perf_domains = nullptr;
 };
 
 /// Mines the closed frequent item sets of `db` with the selected

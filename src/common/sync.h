@@ -93,6 +93,11 @@ enum class LockRank : std::uint32_t {
   /// only while splicing a TLS block in/out or summing a snapshot.
   kKernelCounters = 350,
 
+  /// obs::PerfDomainCollector::mutex_ — per-domain hardware-counter
+  /// sample appends from worker threads. A leaf: Record copies one
+  /// sample into a vector and takes no other lock.
+  kPerfDomains = 375,
+
   /// MetricRegistry::mutex_ — name -> metric lookup. A leaf: increments
   /// are atomic and a registry critical section takes no other lock.
   kMetricRegistry = 400,

@@ -61,22 +61,38 @@ class CpuTimer {
   double start_;
 };
 
-/// Peak resident set size of the process in bytes, or 0 when the
-/// platform does not expose it. Monotone over the process lifetime
-/// (`ru_maxrss` is a high-water mark), so record it once at report time.
-inline std::size_t PeakRss() {
+/// Peak resident set size with an explicit error path: `known` is false
+/// when the platform does not expose `ru_maxrss` or getrusage() itself
+/// failed, so consumers can render "unknown" instead of a fake 0.
+struct PeakRssResult {
+  std::size_t bytes = 0;
+  bool known = false;
+};
+
+/// Peak resident set size of the process, normalized to bytes.
+/// `ru_maxrss` units differ per platform — KiB on Linux and the BSDs,
+/// bytes on macOS — and this is the one place that conversion lives.
+/// Monotone over the process lifetime (a high-water mark), so record it
+/// once at report time.
+inline PeakRssResult PeakRssBytes() {
+  PeakRssResult result;
 #if defined(__unix__) || defined(__APPLE__)
   rusage usage{};
-  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return result;  // known=false
+  if (usage.ru_maxrss <= 0) return result;  // kernel hides it (e.g. WSL1)
 #if defined(__APPLE__)
-  return static_cast<std::size_t>(usage.ru_maxrss);  // bytes on macOS
+  result.bytes = static_cast<std::size_t>(usage.ru_maxrss);  // bytes
 #else
-  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+  result.bytes = static_cast<std::size_t>(usage.ru_maxrss) * 1024;  // KiB
 #endif
-#else
-  return 0;
+  result.known = true;
 #endif
+  return result;
 }
+
+/// Legacy accessor: PeakRssBytes().bytes, with the error path collapsed
+/// to 0. Prefer PeakRssBytes() where "unknown" matters.
+inline std::size_t PeakRss() { return PeakRssBytes().bytes; }
 
 }  // namespace fim
 

@@ -1,12 +1,14 @@
 #include "ista/ista.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <optional>
 #include <thread>
 #include <vector>
 
 #include "common/check.h"
 #include "ista/prefix_tree.h"
+#include "obs/perf.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
 
@@ -138,8 +140,14 @@ Status MineClosedIsta(const TransactionDatabase& db, const IstaOptions& options,
   if (num_workers <= 1) {
     std::vector<Support> remaining = frequencies;
     obs::Phase mine_phase(trace, lane, "shard-mine");
-    IstaPrefixTree tree = MineShard(stream, 0, stream.size(), coded.NumItems(),
-                                    &remaining, options, lane);
+    std::optional<IstaPrefixTree> tree_slot;
+    {
+      obs::PerfDomainScope shard_domain(options.perf_domains, "shard-0");
+      tree_slot.emplace(MineShard(stream, 0, stream.size(), coded.NumItems(),
+                                  &remaining, options, lane));
+      shard_domain.AddWorkSteps(tree_slot->IsectSteps());
+    }
+    IstaPrefixTree& tree = *tree_slot;
     mine_phase.End();
     FIM_DCHECK_OK(tree.ValidateInvariants());
     obs::Phase report_phase(trace, lane, "report");
@@ -169,6 +177,8 @@ Status MineClosedIsta(const TransactionDatabase& db, const IstaOptions& options,
                 ? timeline->AddLane("ista-worker-" + std::to_string(w))
                 : nullptr;
         obs::TimelineScope shard_scope(wlane, "shard-mine");
+        obs::PerfDomainScope shard_domain(options.perf_domains,
+                                          "shard-" + std::to_string(w));
         const std::size_t begin = w * stream.size() / num_workers;
         const std::size_t end = (w + 1) * stream.size() / num_workers;
         remaining[w] = frequencies;
@@ -178,6 +188,7 @@ Status MineClosedIsta(const TransactionDatabase& db, const IstaOptions& options,
           obs::TimelineScope prune_scope(wlane, "prune");
           trees[w]->Prune(options.min_support, remaining[w]);
         }
+        shard_domain.AddWorkSteps(trees[w]->IsectSteps());
       });
     }
     for (auto& worker : workers) worker.join();
@@ -212,6 +223,9 @@ Status MineClosedIsta(const TransactionDatabase& db, const IstaOptions& options,
                                           std::to_string(i))
                       : nullptr;
               obs::TimelineScope merge_scope(mlane, "merge");
+              obs::PerfDomainScope merge_domain(
+                  options.perf_domains, "merge-" + std::to_string(stride) +
+                                            "-" + std::to_string(i));
               // Replaying the smaller repository into the larger one is
               // cheaper (the replay visits every stored set of the source);
               // the result is identical either way. The remaining table
@@ -221,6 +235,11 @@ Status MineClosedIsta(const TransactionDatabase& db, const IstaOptions& options,
                 std::swap(trees[i], trees[i + stride]);
                 std::swap(remaining[i], remaining[i + stride]);
               }
+              // Merge folds the absorbed tree's counters into the target,
+              // so the merge stage's own intersection work is the step
+              // growth beyond the two inputs' pre-merge totals.
+              const std::uint64_t steps_before =
+                  trees[i]->IsectSteps() + trees[i + stride]->IsectSteps();
               if (options.item_elimination) {
                 trees[i]->Merge(*trees[i + stride], options.min_support,
                                 remaining[i], options.prune_node_threshold);
@@ -236,6 +255,9 @@ Status MineClosedIsta(const TransactionDatabase& db, const IstaOptions& options,
               if (options.item_elimination) {
                 trees[i]->Prune(options.min_support, remaining[i]);
               }
+              const std::uint64_t steps_after = trees[i]->IsectSteps();
+              merge_domain.AddWorkSteps(
+                  steps_after > steps_before ? steps_after - steps_before : 0);
             });
       }
       for (auto& merger : mergers) merger.join();

@@ -13,6 +13,7 @@
 namespace fim {
 
 namespace obs {
+class PerfDomainCollector;
 class Timeline;
 }  // namespace obs
 
@@ -58,6 +59,15 @@ struct IstaOptions {
   /// worker and merge worker registers its own lane. Output-neutral;
   /// must outlive the call.
   obs::Timeline* timeline = nullptr;
+
+  /// Optional hardware-counter attribution (obs/perf.h): each shard
+  /// worker and merge stage measures itself in a PerfDomainScope named
+  /// "shard-N" / "merge-<stride>-<i>", attributing its intersection
+  /// steps (work_steps), thread CPU and — when the collector enables
+  /// hardware and the kernel allows it — PMU deltas. This is what the
+  /// fim-prof work-inflation table renders. Output-neutral; must
+  /// outlive the call.
+  obs::PerfDomainCollector* perf_domains = nullptr;
 };
 
 // Execution statistics (optional output of MineClosedIsta): the unified

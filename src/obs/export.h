@@ -7,6 +7,7 @@
 #include "data/itemset.h"
 #include "obs/metrics.h"
 #include "obs/miner_stats.h"
+#include "obs/perf.h"
 #include "obs/trace.h"
 
 namespace fim::obs {
@@ -30,6 +31,10 @@ struct StatsReport {
   /// registered — e.g. the `stream.*` counters of a StreamMiner). May
   /// be nullptr.
   const MetricRegistry* registry = nullptr;
+
+  /// Optional: hardware-counter report (`--perf-counters`); adds the
+  /// "perf" section. May be nullptr.
+  const PerfReport* perf = nullptr;
 };
 
 /// Human-readable rendering (aligned counter table + indented span
@@ -49,13 +54,32 @@ std::string RenderStatsText(const StatsReport& report);
 ///                        "p99": F }, ... },       // with a registry only
 ///     "spans": [ { "name": "...", "wall_seconds": F,
 ///                  "cpu_seconds": F, "count": N,
-///                  "children": [ ... ] }, ... ]   // omitted w/o trace
+///                  "perf": { "cycles": N, ... },  // attached sets only
+///                  "children": [ ... ] }, ... ],  // omitted w/o trace
+///     "perf": {                                   // with --perf-counters
+///       "available": B, "unavailable_reason": "...",  // reason iff !B
+///       "kernel_tier": "avx2",
+///       "counters": { "cycles": N|null, ..., "ipc": F|null,
+///                     "llc_miss_rate": F|null,
+///                     "branch_miss_rate": F|null,
+///                     "multiplex_scale": F|null } | null,
+///       "rusage": { "user_seconds": F, "system_seconds": F,
+///                   "minor_faults": N, "major_faults": N,
+///                   "voluntary_ctx_switches": N,
+///                   "involuntary_ctx_switches": N,
+///                   "peak_rss_bytes": N|null },
+///       "domains": [ { "name": "shard-0", "work_steps": N,
+///                      "cpu_seconds": F, "cycles": N|null, ... } ]
+///     }
 ///   }
 ///
 /// v1 -> v2: the "distributions" section was added (histogram-backed
 /// approximate percentiles of every registry Distribution); everything
 /// else is unchanged, so v1 consumers that ignore unknown keys keep
-/// working.
+/// working. The optional "perf" section (and per-span "perf" objects)
+/// joined v2 later without a version bump — sections stay optional and
+/// unknown-key tolerant; counters that did not count render as null,
+/// never as a fake 0.
 std::string RenderStatsJson(const StatsReport& report);
 
 }  // namespace fim::obs

@@ -1,13 +1,118 @@
 #include "obs/sampler.h"
 
+#include <atomic>
+#include <cstdlib>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#endif
+
 #include "common/timer.h"
 #include "obs/json.h"
 
 namespace fim::obs {
 
+namespace {
+
+// Exit-time safety net: live samplers register in a small lock-free
+// slot table (lock-free so the fatal-signal path never blocks on a
+// mutex an interrupted thread might hold). The first registration
+// installs the atexit stop and — where the disposition is still
+// SIG_DFL — best-effort fatal-signal flush handlers.
+constexpr std::size_t kMaxLiveSamplers = 8;
+std::atomic<MetricsSampler*> g_live_samplers[kMaxLiveSamplers];
+std::atomic<bool> g_exit_hooks_installed{false};
+
+void RegisterLiveSampler(MetricsSampler* sampler) {
+  for (auto& slot : g_live_samplers) {
+    MetricsSampler* expected = nullptr;
+    if (slot.compare_exchange_strong(expected, sampler,
+                                     std::memory_order_acq_rel)) {
+      return;
+    }
+  }
+  // Table full: the sampler still works, it just misses the exit net.
+}
+
+void DeregisterLiveSampler(MetricsSampler* sampler) {
+  for (auto& slot : g_live_samplers) {
+    MetricsSampler* expected = sampler;
+    if (slot.compare_exchange_strong(expected, nullptr,
+                                     std::memory_order_acq_rel)) {
+      return;
+    }
+  }
+}
+
+// std::exit skips local destructors, so a sampler owned by main would
+// otherwise die un-stopped: stop (join + final sample + flush) whatever
+// is still registered.
+void StopLiveSamplersAtExit() {
+  for (auto& slot : g_live_samplers) {
+    MetricsSampler* sampler = slot.load(std::memory_order_acquire);
+    if (sampler != nullptr) sampler->Stop();
+  }
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+// Best-effort: ostream::flush is not async-signal-safe, but every
+// complete sample line is already flushed at write time — this only
+// pushes out whatever a dying process still buffers, and the process
+// re-raises to its death right after.
+void FatalSignalFlush(int signum) {
+  internal::FlushLiveSamplerStreams();
+  std::signal(signum, SIG_DFL);
+  std::raise(signum);
+}
+#endif
+
+void InstallExitHooksOnce() {
+  bool expected = false;
+  if (!g_exit_hooks_installed.compare_exchange_strong(expected, true)) {
+    return;
+  }
+  std::atexit(&StopLiveSamplersAtExit);
+#if defined(__unix__) || defined(__APPLE__)
+  for (const int sig : {SIGINT, SIGTERM, SIGHUP}) {
+    struct sigaction current {};
+    if (sigaction(sig, nullptr, &current) != 0) continue;
+    // Respect anyone else's handler (and explicit SIG_IGN): only claim
+    // signals that would have killed the process silently.
+    if (current.sa_handler != SIG_DFL) continue;
+    struct sigaction action {};
+    action.sa_handler = &FatalSignalFlush;
+    sigemptyset(&action.sa_mask);
+    sigaction(sig, &action, nullptr);
+  }
+#endif
+}
+
+}  // namespace
+
+namespace internal {
+
+std::size_t LiveSamplerCount() {
+  std::size_t count = 0;
+  for (auto& slot : g_live_samplers) {
+    if (slot.load(std::memory_order_acquire) != nullptr) ++count;
+  }
+  return count;
+}
+
+void FlushLiveSamplerStreams() {
+  for (auto& slot : g_live_samplers) {
+    MetricsSampler* sampler = slot.load(std::memory_order_acquire);
+    if (sampler != nullptr) sampler->FlushOutput();
+  }
+}
+
+}  // namespace internal
+
 MetricsSampler::MetricsSampler(const MetricsSamplerOptions& options,
                                std::ostream* out)
     : options_(options), out_(out), start_(std::chrono::steady_clock::now()) {
+  InstallExitHooksOnce();
+  RegisterLiveSampler(this);
   thread_ = std::thread([this]() { Run(); });
 }
 
@@ -23,8 +128,11 @@ void MetricsSampler::Stop() {
   // always produce at least one line and the series covers the full run.
   EmitSample();
   out_->flush();
-  const MutexLock lock(mutex_);
-  stopped_ = true;
+  {
+    const MutexLock lock(mutex_);
+    stopped_ = true;
+  }
+  DeregisterLiveSampler(this);
 }
 
 std::uint64_t MetricsSampler::SamplesWritten() const {

@@ -53,6 +53,15 @@ struct MetricsSamplerOptions {
 /// written only by the sampler thread and, after the join, by Stop();
 /// it must stay valid until Stop() returns and must not be written by
 /// anyone else in between.
+///
+/// Abnormal-exit durability: every sample is written as one complete
+/// line and flushed immediately, and each live sampler registers itself
+/// in a process-wide slot table. The first sampler installs an atexit
+/// hook that Stop()s whatever is still live when std::exit is called
+/// (local destructors do not run then), and best-effort SIGINT/SIGTERM/
+/// SIGHUP handlers — only where the disposition was still SIG_DFL —
+/// that flush the registered streams before re-raising. Truncated
+/// `fim-statsline-v1` files therefore require a SIGKILL-class death.
 class MetricsSampler {
  public:
   MetricsSampler(const MetricsSamplerOptions& options, std::ostream* out);
@@ -64,6 +73,10 @@ class MetricsSampler {
 
   /// Stops the sampling thread and writes the final sample. Idempotent.
   void Stop() FIM_EXCLUDES(mutex_);
+
+  /// Flushes the output stream. Safe to call at any time from the
+  /// owning thread; the fatal-signal hook calls it best-effort.
+  void FlushOutput() { out_->flush(); }
 
   /// Samples written so far (monotone; final value after Stop()).
   std::uint64_t SamplesWritten() const;
@@ -89,6 +102,19 @@ class MetricsSampler {
 
   std::thread thread_;
 };
+
+namespace internal {
+
+/// Live samplers currently registered for exit-time flushing (bounded
+/// by the slot table; construction past the bound just skips the
+/// safety net). Exposed for tests.
+std::size_t LiveSamplerCount();
+
+/// The fatal-signal flush body: flushes every registered sampler's
+/// stream. Exposed so tests can exercise it without raising a signal.
+void FlushLiveSamplerStreams();
+
+}  // namespace internal
 
 }  // namespace fim::obs
 

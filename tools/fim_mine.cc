@@ -4,7 +4,8 @@
 //
 //   fim-mine [-a algorithm] [-s minsupp | -S percent] [-t threads] [-m] [-q]
 //            [--kernel=NAME] [--stats[=text|json]] [--stats-out=PATH]
-//            [--trace-out=PATH] input [output]
+//            [--trace-out=PATH] [--perf-counters] [--profile[=PATH]]
+//            input [output]
 //
 //   -a NAME   ista | carpenter-lists | carpenter-table | flat-cumulative |
 //             fpclose | lcm | charm | transposed | cobbler (default: ista)
@@ -32,6 +33,18 @@
 //             lane per IsTa shard/merge/recode worker) and write it as
 //             Chrome trace-event JSON to PATH — load in chrome://tracing
 //             or https://ui.perfetto.dev
+//   --perf-counters
+//             measure hardware counters (cycles, instructions, LLC/L1d
+//             and branch misses via perf_event_open) over the run and
+//             per phase/shard, and add the `perf` section to the stats
+//             report (implies --stats). Where the kernel denies the PMU
+//             the run still succeeds and the section carries an explicit
+//             unavailable reason plus the rusage fallback.
+//   --profile[=PATH]
+//             sampling self-profiler (SIGPROF + backtrace): collapsed
+//             stacks (`fim-prof-v1`, flamegraph.pl-compatible) written
+//             to PATH, or stderr without =PATH. Combine with --trace-out
+//             to see the sample cadence as a "profiler" lane.
 //   input     transaction file, FIMI text or FIMB binary (auto-detected)
 //   output    result file; "-" or absent: stdout
 //
@@ -65,7 +78,8 @@ void Usage() {
   std::fprintf(stderr,
                "usage: fim-mine [-a algorithm] [-s minsupp | -S percent] "
                "[-t threads] [-m] [-q] [--kernel=NAME] [--stats[=text|json]] "
-               "[--stats-out=PATH] [--trace-out=PATH] input [output]\n");
+               "[--stats-out=PATH] [--trace-out=PATH] [--perf-counters] "
+               "[--profile[=PATH]] input [output]\n");
 }
 
 }  // namespace
@@ -160,6 +174,8 @@ int main(int argc, char** argv) {
   MinerStats* stats = obs_flags.WantStats() ? &miner_stats : nullptr;
   std::unique_ptr<obs::Timeline> timeline;
   if (obs_flags.WantTrace()) timeline = std::make_unique<obs::Timeline>();
+  tools::PerfSession perf_session;
+  perf_session.Start(obs_flags, trace, timeline.get());
 
   obs::Span load_span(trace, "load");
   auto loaded = ReadDatabaseFile(input);
@@ -186,6 +202,7 @@ int main(int argc, char** argv) {
   options.min_support = min_support;
   options.num_threads = num_threads;
   options.timeline = timeline.get();
+  options.perf_domains = perf_session.domains();
 
   std::ofstream file_out;
   std::ostream* out = &std::cout;
@@ -236,6 +253,10 @@ int main(int argc, char** argv) {
                  total.Seconds());
   }
 
+  // Stop the measurement layer (counters + profiler) before any export
+  // touches the timeline the profiler may still be writing to.
+  const obs::PerfReport* perf_report = perf_session.Finish();
+
   if (timeline != nullptr) {
     obs::TraceMeta meta;
     meta.tool = "fim-mine";
@@ -256,9 +277,10 @@ int main(int argc, char** argv) {
     report.peak_rss_bytes = PeakRss();
     report.miner = miner_stats;
     report.trace = &trace_storage;
+    report.perf = perf_report;
     if (int rc = tools::EmitStatsReport(obs_flags, report); rc != 0) {
       return rc;
     }
   }
-  return 0;
+  return perf_session.EmitProfile(obs_flags);
 }

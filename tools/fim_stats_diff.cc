@@ -27,6 +27,17 @@
 // baseline by more than both tolerances; decreases are reported as
 // improvements and never fail.
 //
+// Reports with a `perf` section (--perf-counters) additionally
+// contribute perf.ipc / perf.llc_miss_rate / perf.branch_miss_rate —
+// miss-rate increases gate like any cost counter, while perf.ipc is a
+// higher-is-better metric, so a *decrease* beyond the tolerances is the
+// regression. perf.cycles and perf.instructions are timing-class (gated
+// only with --time: both scale with wall time and multiplexing). All
+// perf.* metrics are host-dependent, so one side missing them (older
+// baseline schema, PMU denied, null counters) is never a structure
+// failure — they are simply not compared; non-finite values (NaN/Inf
+// from a zero-division) are skipped too.
+//
 // Exit code 0 = no regression; 1 = regression or structure mismatch
 // (details on stderr); 2 = usage or parse error.
 
@@ -56,10 +67,44 @@ void Usage() {
 using Row = std::map<std::string, double>;
 using Rows = std::map<std::string, Row>;
 
-/// Whether the metric is gated with --time only.
+/// Whether the metric is gated with --time only. The raw hardware
+/// counts ride along: cycles track wall time and both scale with the
+/// multiplexing correction, unlike the ratios derived from them.
 bool IsTimingMetric(const std::string& name) {
   return name == "wall_seconds" || name == "cpu_seconds" ||
-         name == "seconds";
+         name == "seconds" || name == "perf.cycles" ||
+         name == "perf.instructions";
+}
+
+/// perf.* metrics are host-dependent (PMU access, schema age), so their
+/// absence on either side is tolerated rather than a MISSING failure.
+bool IsOptionalMetric(const std::string& name) {
+  return name.rfind("perf.", 0) == 0;
+}
+
+/// Metrics where bigger is better; a *decrease* is the regression.
+bool IsHigherBetter(const std::string& name) { return name == "perf.ipc"; }
+
+/// Copies the comparable hardware-counter metrics out of a `perf`
+/// object into `row` as perf.<name>. Handles both shapes: the stats
+/// report (counters nested under "counters", guarded by "available")
+/// and a flat bench-point object. Null and non-numeric values are
+/// skipped — a null is "not measured", never 0.
+void ExtractPerfMetrics(const JsonValue& perf, Row* row) {
+  if (!perf.is_object()) return;
+  const JsonValue* available = perf.Find("available");
+  if (available != nullptr && !available->AsBool()) return;
+  const JsonValue* counters = perf.Find("counters");
+  const JsonValue& source =
+      counters != nullptr && counters->is_object() ? *counters : perf;
+  for (const char* name :
+       {"cycles", "instructions", "ipc", "llc_miss_rate",
+        "branch_miss_rate"}) {
+    const JsonValue* value = source.Find(name);
+    if (value != nullptr && value->kind() == JsonValue::Kind::kNumber) {
+      (*row)[std::string("perf.") + name] = value->AsNumber();
+    }
+  }
 }
 
 /// Extracts the rows of a parsed report. Returns false (with a message
@@ -88,6 +133,9 @@ bool ExtractRows(const JsonValue& doc, const std::string& label, Rows* rows) {
     }
     if (const JsonValue* cpu = doc.Find("cpu_seconds")) {
       row["cpu_seconds"] = cpu->AsNumber();
+    }
+    if (const JsonValue* perf = doc.Find("perf")) {
+      ExtractPerfMetrics(*perf, &row);
     }
     (*rows)[""] = std::move(row);
     return true;
@@ -124,6 +172,9 @@ bool ExtractRows(const JsonValue& doc, const std::string& label, Rows* rows) {
       }
       if (const JsonValue* cpu = point.Find("cpu_seconds")) {
         row["cpu_seconds"] = cpu->AsNumber();
+      }
+      if (const JsonValue* perf = point.Find("perf")) {
+        ExtractPerfMetrics(*perf, &row);
       }
       (*rows)[key.str()] = std::move(row);
     }
@@ -223,14 +274,15 @@ int main(int argc, char** argv) {
     }
     for (const auto& [name, base_value] : row) {
       if (it->second.find(name) == it->second.end()) {
-        if (IsTimingMetric(name)) continue;
+        if (IsTimingMetric(name) || IsOptionalMetric(name)) continue;
         std::fprintf(stderr, "MISSING: %s: counter %s absent from %s\n",
                      RowName(key), name.c_str(), current_path.c_str());
         ++regressions;
       }
     }
     for (const auto& [name, cur_value] : it->second) {
-      if (row.find(name) == row.end() && !IsTimingMetric(name)) {
+      if (row.find(name) == row.end() && !IsTimingMetric(name) &&
+          !IsOptionalMetric(name)) {
         std::fprintf(stderr, "MISSING: %s: counter %s absent from %s\n",
                      RowName(key), name.c_str(), baseline_path.c_str());
         ++regressions;
@@ -254,6 +306,13 @@ int main(int argc, char** argv) {
         if (it == row_it->second.end()) continue;
         if (IsTimingMetric(name) && !gate_time) continue;
         const double cur_value = it->second;
+        // A non-finite value (NaN ratio from a zero division, an Inf
+        // from overflow) cannot be gated meaningfully; skip rather than
+        // poison the comparison — every arithmetic test below would be
+        // false for NaN, silently passing a broken metric.
+        if (!std::isfinite(base_value) || !std::isfinite(cur_value)) {
+          continue;
+        }
         ++compared;
         if (name == "num_sets") {
           // Output cardinality: must match exactly, both directions.
@@ -266,20 +325,24 @@ int main(int argc, char** argv) {
           }
           continue;
         }
-        const double increase = cur_value - base_value;
-        if (increase <= 0.0) {
-          if (increase < 0.0) ++improvements;
+        // For higher-is-better metrics (perf.ipc) the harmful direction
+        // flips: the gated quantity is the decrease.
+        const double harm = IsHigherBetter(name) ? base_value - cur_value
+                                                 : cur_value - base_value;
+        if (harm <= 0.0) {
+          if (harm < 0.0) ++improvements;
           continue;
         }
         const double rel =
-            base_value > 0.0 ? increase / base_value
+            base_value > 0.0 ? harm / base_value
                              : std::numeric_limits<double>::infinity();
-        if (increase > abs_tol && rel > rel_tol) {
+        if (harm > abs_tol && rel > rel_tol) {
           std::fprintf(stderr,
-                       "REGRESSION: %s: %s %g -> %g (+%.2f%%, rel-tol "
+                       "REGRESSION: %s: %s %g -> %g (%s%.2f%%, rel-tol "
                        "%.2f%%, abs-tol %g)\n",
                        RowName(key), name.c_str(), base_value, cur_value,
-                       100.0 * rel, 100.0 * rel_tol, abs_tol);
+                       IsHigherBetter(name) ? "-" : "+", 100.0 * rel,
+                       100.0 * rel_tol, abs_tol);
           ++regressions;
         }
       }

@@ -6,7 +6,8 @@
 //   fim-stream [-s minsupp] [--pane=N --window=W] [--query-every=N]
 //              [--checkpoint=PATH] [--checkpoint-every=N] [--resume=PATH]
 //              [--max-items=N] [-q] [--stats[=text|json]]
-//              [--stats-out=PATH] [--trace-out=PATH] [--sample-every=MS]
+//              [--stats-out=PATH] [--trace-out=PATH] [--perf-counters]
+//              [--profile[=PATH]] [--sample-every=MS]
 //              [--sample-out=PATH] [input [output]]
 //
 //   -s N        minimum support of every snapshot query (default: 2)
@@ -42,6 +43,15 @@
 //               record the miner's event timeline (ingest rotations,
 //               seals, query sub-phases, checkpoints, plus the sampler's
 //               lane) and write Chrome trace-event JSON to PATH
+//   --perf-counters
+//               measure hardware counters over the whole run and per
+//               phase span, adding the `perf` section to the stats
+//               report (implies --stats; degrades to an explicit
+//               unavailable reason + rusage fallback where the kernel
+//               denies the PMU)
+//   --profile[=PATH]
+//               sampling self-profiler: fim-prof-v1 collapsed stacks to
+//               stderr or PATH (flamegraph.pl-compatible)
 //   --sample-every=MS
 //               run a background metrics sampler: every MS milliseconds
 //               (and once at shutdown) append one fim-statsline-v1 JSON
@@ -86,7 +96,8 @@ void Usage() {
       "usage: fim-stream [-s minsupp] [--pane=N --window=W] "
       "[--query-every=N] [--checkpoint=PATH] [--checkpoint-every=N] "
       "[--resume=PATH] [--max-items=N] [-q] [--stats[=text|json]] "
-      "[--stats-out=PATH] [--trace-out=PATH] [--sample-every=MS] "
+      "[--stats-out=PATH] [--trace-out=PATH] [--perf-counters] "
+      "[--profile[=PATH]] [--sample-every=MS] "
       "[--sample-out=PATH] [input [output]]\n");
 }
 
@@ -190,7 +201,8 @@ int ParseArgs(int argc, char** argv, Args* args) {
 
 int EmitStats(const Args& args, fim::StreamMiner& miner,
               const fim::obs::MetricRegistry& registry,
-              const fim::obs::Trace* trace, std::size_t num_sets,
+              const fim::obs::Trace* trace,
+              const fim::obs::PerfReport* perf, std::size_t num_sets,
               double wall_seconds, double cpu_seconds) {
   fim::obs::StatsReport report;
   report.tool = "fim-stream";
@@ -204,6 +216,7 @@ int EmitStats(const Args& args, fim::StreamMiner& miner,
   report.peak_rss_bytes = fim::PeakRss();
   report.registry = &registry;
   report.trace = trace;
+  report.perf = perf;
   return fim::tools::EmitStatsReport(args.obs, report);
 }
 
@@ -281,6 +294,8 @@ int main(int argc, char** argv) {
   obs::Trace* trace = args.obs.WantStats() ? &trace_storage : nullptr;
   std::unique_ptr<obs::Timeline> timeline;
   if (args.obs.WantTrace()) timeline = std::make_unique<obs::Timeline>();
+  tools::PerfSession perf_session;
+  perf_session.Start(args.obs, trace, timeline.get());
 
   std::unique_ptr<StreamMiner> miner;
   if (!args.resume_path.empty()) {
@@ -419,8 +434,11 @@ int main(int argc, char** argv) {
 
   // Quiesce the sampler before exporting: its final sample lands in the
   // JSONL series and its lane stops receiving events, so the trace
-  // snapshot below observes a fully written timeline.
+  // snapshot below observes a fully written timeline. The measurement
+  // layer (counters + profiler) stops here too, before any export
+  // touches the timeline the profiler may still be writing to.
   if (sampler != nullptr) sampler->Stop();
+  const obs::PerfReport* perf_report = perf_session.Finish();
 
   if (timeline != nullptr) {
     obs::TraceMeta meta;
@@ -444,8 +462,11 @@ int main(int argc, char** argv) {
         num_sets, args.min_support, miner->NodeCount(), total.Seconds());
   }
   if (args.obs.WantStats()) {
-    return EmitStats(args, *miner, registry, trace, num_sets, total.Seconds(),
-                     total_cpu.Seconds());
+    if (int rc = EmitStats(args, *miner, registry, trace, perf_report,
+                           num_sets, total.Seconds(), total_cpu.Seconds());
+        rc != 0) {
+      return rc;
+    }
   }
-  return 0;
+  return perf_session.EmitProfile(args.obs);
 }

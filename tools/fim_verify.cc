@@ -4,14 +4,19 @@
 // validating external miner implementations (FIMI-contest style).
 //
 //   fim-verify [-s minsupp] [--stats[=text|json]] [--stats-out=PATH]
-//              [--trace-out=PATH] data.fimi result.txt
+//              [--trace-out=PATH] [--perf-counters] [--profile[=PATH]]
+//              data.fimi result.txt
 //   fim-verify --self-check [-s minsupp] data.fimi
 //
 // --stats emits the reference miner's execution-statistics report (see
 // docs/OBSERVABILITY.md) on stderr — or to PATH with --stats-out — after
 // verification; --trace-out additionally records the reference run's
-// event timeline as Chrome trace-event JSON. The verdict and exit code
-// are unaffected by any of them.
+// event timeline as Chrome trace-event JSON. --perf-counters measures
+// hardware counters over the reference run (perf section in the stats
+// report; explicit unavailable reason + rusage fallback where the PMU is
+// denied); --profile[=PATH] runs the sampling self-profiler and writes
+// fim-prof-v1 collapsed stacks. The verdict and exit code are unaffected
+// by any of them (only an unwritable output path is an error).
 //
 // --self-check feeds the database through the library's core data
 // structures (IsTa prefix tree, Carpenter occurrence matrix and duplicate
@@ -48,7 +53,8 @@ namespace {
 void Usage() {
   std::fprintf(stderr,
                "usage: fim-verify [-s minsupp] [--stats[=text|json]] "
-               "[--stats-out=PATH] [--trace-out=PATH] data.fimi result\n"
+               "[--stats-out=PATH] [--trace-out=PATH] [--perf-counters] "
+               "[--profile[=PATH]] data.fimi result\n"
                "       fim-verify --self-check [-s minsupp] data.fimi\n");
 }
 
@@ -193,6 +199,10 @@ int main(int argc, char** argv) {
   CpuTimer mine_cpu;
   MinerStats miner_stats;
   obs::Trace trace;
+  tools::PerfSession perf_session;
+  perf_session.Start(obs_flags, want_stats ? &trace : nullptr,
+                     timeline.get());
+  options.perf_domains = perf_session.domains();
   auto expected = MineClosedCollect(db.value(), options,
                                     want_stats ? &miner_stats : nullptr,
                                     want_stats ? &trace : nullptr);
@@ -201,6 +211,9 @@ int main(int argc, char** argv) {
                  expected.status().ToString().c_str());
     return 1;
   }
+  // Stop the measurement layer (counters + profiler) before any export
+  // touches the timeline the profiler may still be writing to.
+  const obs::PerfReport* perf_report = perf_session.Finish();
   if (timeline != nullptr) {
     obs::TraceMeta meta;
     meta.tool = "fim-verify";
@@ -221,10 +234,12 @@ int main(int argc, char** argv) {
     report.peak_rss_bytes = PeakRss();
     report.miner = miner_stats;
     report.trace = &trace;
+    report.perf = perf_report;
     if (int rc = tools::EmitStatsReport(obs_flags, report); rc != 0) {
       return rc;
     }
   }
+  if (int rc = perf_session.EmitProfile(obs_flags); rc != 0) return rc;
   if (!SameResults(expected.value(), claimed.value())) {
     std::fprintf(stderr, "COMPLETENESS FAILURE:\n%s",
                  DiffResults(expected.value(), claimed.value(), 20).c_str());

@@ -10,19 +10,34 @@
 //   --trace-out=PATH      write a Chrome trace-event JSON timeline
 //                         (fim-trace-v1; load in chrome://tracing or
 //                         https://ui.perfetto.dev)
+//   --perf-counters       measure hardware counters (cycles, IPC,
+//                         cache/branch misses) and add the `perf`
+//                         section to the stats report (implies --stats;
+//                         degrades to an explicit unavailable reason +
+//                         rusage fallback where the kernel denies the
+//                         PMU — never fails the run)
+//   --profile[=PATH]      sampling self-profiler: SIGPROF stacks folded
+//                         to fim-prof-v1 collapsed format (flamegraph.pl
+//                         compatible) on stderr or into PATH
 //
-// Tools parse them through ObsFlags::Parse and render through
-// EmitStatsReport / EmitChromeTrace so the behaviour cannot drift apart.
+// Tools parse them through ObsFlags::Parse and run them through a
+// PerfSession + EmitStatsReport / EmitChromeTrace so the behaviour
+// cannot drift apart.
 
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "common/status.h"
+#include "common/timer.h"
+#include "kernels/intersect.h"
 #include "obs/export.h"
+#include "obs/perf.h"
+#include "obs/profiler.h"
 #include "obs/timeline.h"
 
 namespace fim::tools {
@@ -51,6 +66,9 @@ struct ObsFlags {
   StatsFormat stats_format = StatsFormat::kNone;
   std::string stats_out;
   std::string trace_out;
+  bool perf_counters = false;
+  bool profile = false;
+  std::string profile_out;  // empty = collapsed stacks to stderr
 
   bool WantStats() const { return stats_format != StatsFormat::kNone; }
   bool WantTrace() const { return !trace_out.empty(); }
@@ -74,16 +92,133 @@ struct ObsFlags {
       trace_out = arg + 12;
       return true;
     }
+    if (std::strcmp(arg, "--perf-counters") == 0) {
+      perf_counters = true;
+      return true;
+    }
+    if (std::strcmp(arg, "--profile") == 0) {
+      profile = true;
+      return true;
+    }
+    if (std::strncmp(arg, "--profile=", 10) == 0) {
+      profile = true;
+      profile_out = arg + 10;
+      return true;
+    }
     return false;
   }
 
   /// Call once after the argument loop: --stats-out alone implies
-  /// --stats (text).
+  /// --stats (text), and --perf-counters implies --stats — the perf
+  /// section needs a report to live in.
   void Finish() {
-    if (stats_format == StatsFormat::kNone && !stats_out.empty()) {
+    if (stats_format == StatsFormat::kNone &&
+        (!stats_out.empty() || perf_counters)) {
       stats_format = StatsFormat::kText;
     }
   }
+};
+
+/// Everything --perf-counters / --profile set up around one measured
+/// run, shared by fim-mine / fim-stream / fim-verify:
+///
+///   PerfSession perf_session;
+///   perf_session.Start(flags, trace, timeline);   // before the work
+///   ... run ...
+///   report.perf = perf_session.Finish();          // before EmitStats
+///   exit_code |= perf_session.EmitProfile(flags); // after the work
+///
+/// Both features degrade gracefully (unavailable reason in the report /
+/// a warning on stderr) and never fail the run by themselves; only an
+/// unwritable --profile=PATH is an error at EmitProfile time.
+class PerfSession {
+ public:
+  /// Opens counters and/or arms the profiler per `flags`. `trace`
+  /// (nullable) gets the counter set attached so every span carries
+  /// hardware deltas; `timeline` (nullable) gets a "profiler" lane so
+  /// samples fold into the Chrome-trace export. Call before the
+  /// measured work, on the driving thread.
+  void Start(const ObsFlags& flags, obs::Trace* trace,
+             obs::Timeline* timeline) {
+    if (flags.perf_counters) {
+      counters_ = std::make_unique<obs::PerfCounterSet>();
+      counters_->Start();
+      if (trace != nullptr) trace->AttachPerfCounters(counters_.get());
+      collector_ = std::make_unique<obs::PerfDomainCollector>(
+          counters_->available());
+    }
+    if (flags.profile) {
+      obs::ProfilerOptions options;
+      if (timeline != nullptr) options.lane = timeline->AddLane("profiler");
+      profiler_ = obs::SamplingProfiler::Start(options, &profiler_error_);
+      if (profiler_ == nullptr) {
+        std::fprintf(stderr, "warning: profiling disabled: %s\n",
+                     profiler_error_.c_str());
+      }
+    }
+  }
+
+  /// The per-domain collector for MinerOptions/IstaOptions::perf_domains
+  /// (nullptr without --perf-counters).
+  obs::PerfDomainCollector* domains() { return collector_.get(); }
+
+  /// Stops measuring and assembles the `perf` stats section. Returns
+  /// nullptr without --perf-counters; the pointer stays valid for the
+  /// session's lifetime.
+  const obs::PerfReport* Finish() {
+    if (profiler_ != nullptr) profiler_->Stop();
+    if (counters_ == nullptr) return nullptr;
+    report_.availability = counters_->availability();
+    if (counters_->available()) {
+      counters_->Stop();
+      report_.total = counters_->Read();
+      report_.total_valid = true;
+    }
+    report_.kernel_tier = kernels::Active().name;
+    report_.rusage = obs::ReadResourceUsage();
+    report_.peak_rss = PeakRssBytes();
+    if (collector_ != nullptr) report_.domains = collector_->Samples();
+    return &report_;
+  }
+
+  /// Writes the collapsed-stack profile to stderr or
+  /// `flags.profile_out`. When the profiler could not start, a
+  /// requested output file still gets a header explaining why (so CI
+  /// artifact steps find a file either way). Returns 0, or 1 when the
+  /// file cannot be written.
+  int EmitProfile(const ObsFlags& flags) {
+    if (!flags.profile) return 0;
+    if (profiler_ == nullptr) {
+      if (flags.profile_out.empty()) return 0;  // warning already printed
+      std::ofstream out(flags.profile_out, std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot open %s for writing\n",
+                     flags.profile_out.c_str());
+        return 1;
+      }
+      out << "# fim-prof-v1 samples=0 dropped=0 unavailable: "
+          << profiler_error_ << '\n';
+      return 0;
+    }
+    if (flags.profile_out.empty()) {
+      std::fputs(profiler_->RenderCollapsed().c_str(), stderr);
+      return 0;
+    }
+    const Status status = profiler_->WriteCollapsedFile(flags.profile_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error writing profile %s: %s\n",
+                   flags.profile_out.c_str(), status.ToString().c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+ private:
+  std::unique_ptr<obs::PerfCounterSet> counters_;
+  std::unique_ptr<obs::PerfDomainCollector> collector_;
+  std::unique_ptr<obs::SamplingProfiler> profiler_;
+  std::string profiler_error_;
+  obs::PerfReport report_;
 };
 
 /// Renders `report` in the selected format and writes it to stderr or
