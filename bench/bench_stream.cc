@@ -22,6 +22,7 @@
 #include "common/timer.h"
 #include "data/generators.h"
 #include "data/stats.h"
+#include "obs/memory.h"
 #include "stream/stream_miner.h"
 
 namespace {
@@ -130,6 +131,11 @@ int main(int argc, char** argv) {
     mapped.final_nodes = static_cast<std::size_t>(stats.repository_nodes);
     mapped.sets_reported = num_sets;
 
+    // End-of-ingest footprint: the live tree plus every sealed segment
+    // (the structures a compressed-segment tier would shrink), next to
+    // the process peak RSS.
+    const std::size_t accounted = miner.ApproxMemoryUsage().TotalBytes();
+
     bench::JsonPoint ingest_point;
     ingest_point.algorithm = config.name + "-ingest";
     ingest_point.min_support = kMinSupport;
@@ -139,6 +145,9 @@ int main(int argc, char** argv) {
     ingest_point.cpu_seconds = cpu_seconds;
     ingest_point.stats = mapped;
     ingest_point.has_stats = true;
+    ingest_point.has_mem = true;
+    ingest_point.mem_accounted_bytes = accounted;
+    ingest_point.mem_peak_rss_bytes = PeakRss();
     points.push_back(ingest_point);
 
     bench::JsonPoint query_point;

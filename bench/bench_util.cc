@@ -163,6 +163,10 @@ void WriteJson(const std::string& path, const std::string& bench, double scale,
       AppendNumberOrNull(out, p.perf_llc_miss_rate);
       out << "}";
     }
+    if (p.has_mem) {
+      out << ", \"mem\": {\"accounted_bytes\": " << p.mem_accounted_bytes
+          << ", \"peak_rss_bytes\": " << p.mem_peak_rss_bytes << "}";
+    }
     if (p.has_stats) {
       out << ", \"counters\": {";
       bool first = true;

@@ -79,13 +79,22 @@ struct JsonPoint {
   bool has_perf = false;
   double perf_ipc = std::numeric_limits<double>::quiet_NaN();
   double perf_llc_miss_rate = std::numeric_limits<double>::quiet_NaN();
+  /// Memory payload: with has_mem the point carries a "mem" object
+  /// attributing the run's footprint — the self-measured breakdown sum
+  /// (MemoryBreakdown::AccountedBytes) next to the process peak RSS, so
+  /// committed bench reports say *which* bytes a compression tier moved,
+  /// and fim-stats-diff gates both under its bytes-class tolerances.
+  bool has_mem = false;
+  std::size_t mem_accounted_bytes = 0;
+  std::size_t mem_peak_rss_bytes = 0;
 };
 
 /// Writes `{"bench": ..., "scale": ..., "hardware_threads": ...,
 /// "peak_rss_bytes": ..., "points": [{"algorithm", "min_support",
 /// "seconds", "num_sets", "ran"}, ...]}`. Points carry "cpu_seconds"
-/// when measured and a "counters" object (the non-zero MinerStats
-/// entries) when mined with stats. `hardware_threads` records the
+/// when measured, a "counters" object (the non-zero MinerStats
+/// entries) when mined with stats, and a "mem" object when measured
+/// with a memory breakdown. `hardware_threads` records the
 /// machine's concurrency so speedup numbers are interpretable (a 1-core
 /// container cannot show wall-clock speedup no matter how well a
 /// parallel run scales).

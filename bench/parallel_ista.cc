@@ -17,6 +17,7 @@
 #include "data/generators.h"
 #include "data/stats.h"
 #include "ista/ista.h"
+#include "obs/memory.h"
 
 namespace {
 
@@ -99,6 +100,8 @@ int main(int argc, char** argv) {
       IstaOptions options;
       options.min_support = config.min_support;
       options.num_threads = threads;
+      obs::MemoryBreakdown memory;
+      options.memory = &memory;
       IstaStats stats;
       std::size_t sets = 0;
       WallTimer timer;
@@ -107,6 +110,9 @@ int main(int argc, char** argv) {
           db, options, [&sets](std::span<const ItemId>, Support) { ++sets; },
           &stats);
       const double seconds = timer.Seconds();
+      // The miner records only what it builds; the generated database is
+      // the bench's own footprint, so add it to the attributed total.
+      memory.Record(db.ApproxMemoryUsage());
       bench::JsonPoint point;
       point.algorithm = "ista-" + std::to_string(threads) + "t";
       point.min_support = config.min_support;
@@ -116,6 +122,9 @@ int main(int argc, char** argv) {
       point.cpu_seconds = cpu_timer.Seconds();
       point.stats = stats;
       point.has_stats = status.ok();
+      point.has_mem = status.ok();
+      point.mem_accounted_bytes = memory.AccountedBytes();
+      point.mem_peak_rss_bytes = PeakRss();
       points.push_back(point);
       if (!status.ok()) {
         std::printf("  t=%u: ERROR %s\n", threads, status.ToString().c_str());

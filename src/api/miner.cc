@@ -1,6 +1,7 @@
 #include "api/miner.h"
 
 #include "kernels/intersect.h"
+#include "obs/memory.h"
 #include "obs/timeline.h"
 
 #include "carpenter/carpenter.h"
@@ -72,6 +73,7 @@ Status MineClosedDispatch(const TransactionDatabase& db,
       ista.num_threads = options.num_threads;
       ista.timeline = options.timeline;
       ista.perf_domains = options.perf_domains;
+      ista.memory = options.memory;
       return MineClosedIsta(db, ista, callback, stats, trace);
     }
     case Algorithm::kCarpenterLists:
@@ -81,6 +83,7 @@ Status MineClosedDispatch(const TransactionDatabase& db,
       carpenter.item_order = options.item_order;
       carpenter.transaction_order = options.transaction_order;
       carpenter.item_elimination = options.item_elimination;
+      carpenter.memory = options.memory;
       if (options.algorithm == Algorithm::kCarpenterLists) {
         return MineClosedCarpenterLists(db, carpenter, callback, stats);
       }
@@ -91,27 +94,32 @@ Status MineClosedDispatch(const TransactionDatabase& db,
       flat.min_support = options.min_support;
       flat.item_elimination = options.item_elimination;
       flat.transaction_order = options.transaction_order;
+      flat.memory = options.memory;
       return MineClosedFlatCumulative(db, flat, callback, stats);
     }
     case Algorithm::kFpClose: {
       FpCloseOptions fpclose;
       fpclose.min_support = options.min_support;
+      fpclose.memory = options.memory;
       return MineClosedFpClose(db, fpclose, callback, stats);
     }
     case Algorithm::kLcm: {
       LcmOptions lcm;
       lcm.min_support = options.min_support;
       lcm.num_threads = options.num_threads;
+      lcm.memory = options.memory;
       return MineClosedLcm(db, lcm, callback, stats);
     }
     case Algorithm::kCharm: {
       CharmOptions charm;
       charm.min_support = options.min_support;
+      charm.memory = options.memory;
       return MineClosedCharm(db, charm, callback, stats);
     }
     case Algorithm::kTransposed: {
       TransposedOptions transposed;
       transposed.min_support = options.min_support;
+      transposed.memory = options.memory;
       return MineClosedTransposed(db, transposed, callback, stats);
     }
     case Algorithm::kCobbler: {
@@ -120,6 +128,7 @@ Status MineClosedDispatch(const TransactionDatabase& db,
       cobbler.item_order = options.item_order;
       cobbler.transaction_order = options.transaction_order;
       cobbler.item_elimination = options.item_elimination;
+      cobbler.memory = options.memory;
       return MineClosedCobbler(db, cobbler, callback, stats);
     }
   }
@@ -142,6 +151,9 @@ Status MineClosed(const TransactionDatabase& db, const MinerOptions& options,
   // snapshots are exact here: every family joins its workers before
   // returning, so all thread-local kernel counters are quiescent.
   const kernels::CounterSnapshot before = kernels::Counters();
+  // Allocations of the driving thread during the mine are tagged kMine;
+  // IsTa's shard/merge workers open their own kIstaTree scopes.
+  obs::MemDomainScope mem_domain(obs::MemDomain::kMine);
   const Status status = MineClosedDispatch(db, options, callback, stats, trace);
   if (stats != nullptr) {
     const kernels::CounterSnapshot after = kernels::Counters();

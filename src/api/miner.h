@@ -15,6 +15,7 @@
 namespace fim {
 
 namespace obs {
+class MemoryBreakdown;
 class PerfDomainCollector;
 class Timeline;
 }  // namespace obs
@@ -79,6 +80,14 @@ struct MinerOptions {
   /// it). Feeds the `perf.domains` stats section and the fim-prof
   /// work-inflation table. Output-neutral; must outlive the call.
   obs::PerfDomainCollector* perf_domains = nullptr;
+
+  /// Optional memory attribution (obs/memory.h): every algorithm
+  /// records the self-measured byte breakdown of its major structures
+  /// (IsTa prefix trees, tid lists, Carpenter matrices, duplicate
+  /// repositories, the recoded database) at the moments they are
+  /// largest. Feeds the `memory` stats section, fim-prof --memory and
+  /// the bench mem payloads. Output-neutral; must outlive the call.
+  obs::MemoryBreakdown* memory = nullptr;
 };
 
 /// Mines the closed frequent item sets of `db` with the selected

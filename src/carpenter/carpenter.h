@@ -12,6 +12,10 @@
 
 namespace fim {
 
+namespace obs {
+class MemoryBreakdown;
+}  // namespace obs
+
 /// Options shared by both Carpenter variants (paper §3.1).
 struct CarpenterOptions {
   /// Absolute minimum support; must be >= 1.
@@ -27,6 +31,12 @@ struct CarpenterOptions {
   /// as soon as |K| plus the number of remaining transactions containing
   /// i cannot reach the minimum support. Never changes the output.
   bool item_elimination = true;
+
+  /// Optional memory attribution (obs/memory.h): the list variant
+  /// records its vertical tid lists and duplicate repository, the table
+  /// variant its suffix-count matrix and repository, at their largest.
+  /// Output-neutral; must outlive the call.
+  obs::MemoryBreakdown* memory = nullptr;
 };
 
 // Execution statistics (optional output): the unified MinerStats snapshot

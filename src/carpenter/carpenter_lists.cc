@@ -3,6 +3,7 @@
 
 #include "carpenter/carpenter.h"
 #include "carpenter/repository.h"
+#include "obs/memory.h"
 
 namespace fim {
 
@@ -40,6 +41,14 @@ class ListsMiner {
     if (initial.empty()) return;
     Mine(initial, 0, 0);
     if (stats_ != nullptr) stats_->repo_sets = repo_.size();
+  }
+
+  // Both structures are at their largest at the end of the run: the tid
+  // lists are built once, the repository only grows.
+  void RecordMemory(obs::MemoryBreakdown* memory) const {
+    if (memory == nullptr) return;
+    memory->RecordBytes("tid-lists", obs::NestedVectorBytes(tidlists_));
+    memory->Record(repo_.ApproxMemoryUsage());
   }
 
  private:
@@ -144,6 +153,12 @@ Status MineClosedCarpenterLists(const TransactionDatabase& db,
       MakeDecodingCallback(recoding, callback);
   ListsMiner miner(coded, options, decoded, stats);
   miner.Run();
+  if (options.memory != nullptr) {
+    obs::MemoryComponent coded_db = coded.ApproxMemoryUsage();
+    coded_db.name = "recoded-db";
+    options.memory->Record(std::move(coded_db));
+    miner.RecordMemory(options.memory);
+  }
   return Status::OK();
 }
 

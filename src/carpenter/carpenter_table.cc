@@ -5,6 +5,7 @@
 #include "carpenter/repository.h"
 #include "common/check.h"
 #include "kernels/intersect.h"
+#include "obs/memory.h"
 
 namespace fim {
 
@@ -105,6 +106,14 @@ class TableMiner {
     if (stats_ != nullptr) stats_->repo_sets = repo_.size();
   }
 
+  // The matrix is built once; the repository only grows, so everything
+  // is at its largest at the end of the run.
+  void RecordMemory(obs::MemoryBreakdown* memory) const {
+    if (memory == nullptr) return;
+    memory->RecordBytes("matrix", matrix_.capacity() * sizeof(Support));
+    memory->Record(repo_.ApproxMemoryUsage());
+  }
+
  private:
   const Support* Row(Tid j) const { return matrix_.data() + j * num_items_; }
 
@@ -186,6 +195,12 @@ Status MineClosedCarpenterTable(const TransactionDatabase& db,
       MakeDecodingCallback(recoding, callback);
   TableMiner miner(coded, options, decoded, stats);
   miner.Run();
+  if (options.memory != nullptr) {
+    obs::MemoryComponent coded_db = coded.ApproxMemoryUsage();
+    coded_db.name = "recoded-db";
+    options.memory->Record(std::move(coded_db));
+    miner.RecordMemory(options.memory);
+  }
   return Status::OK();
 }
 

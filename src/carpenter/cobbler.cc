@@ -5,6 +5,7 @@
 
 #include "carpenter/repository.h"
 #include "enumeration/lcm.h"
+#include "obs/memory.h"
 
 namespace fim {
 
@@ -41,6 +42,14 @@ class CobblerMiner {
     if (initial.empty()) return;
     Mine(initial, 0, 0);
     if (stats_ != nullptr) stats_->repo_sets = repo_.size();
+  }
+
+  // Tid lists are built once, the repository only grows: largest at the
+  // end of the run.
+  void RecordMemory(obs::MemoryBreakdown* memory) const {
+    if (memory == nullptr) return;
+    memory->RecordBytes("tid-lists", obs::NestedVectorBytes(tidlists_));
+    memory->Record(repo_.ApproxMemoryUsage());
   }
 
  private:
@@ -224,6 +233,12 @@ Status MineClosedCobbler(const TransactionDatabase& db,
   const ClosedSetCallback decoded = MakeDecodingCallback(recoding, callback);
   CobblerMiner miner(coded, options, decoded, stats);
   miner.Run();
+  if (options.memory != nullptr) {
+    obs::MemoryComponent coded_db = coded.ApproxMemoryUsage();
+    coded_db.name = "recoded-db";
+    options.memory->Record(std::move(coded_db));
+    miner.RecordMemory(options.memory);
+  }
   return Status::OK();
 }
 

@@ -26,6 +26,11 @@ struct CobblerOptions {
   /// switching (pure Carpenter behaviour).
   std::size_t switch_max_items = 24;
   std::size_t switch_min_rows = 8;
+
+  /// Optional memory attribution (obs/memory.h): records the vertical
+  /// tid lists and the duplicate repository at their largest.
+  /// Output-neutral; must outlive the call.
+  obs::MemoryBreakdown* memory = nullptr;
 };
 
 /// Cobbler-style hybrid of row and column enumeration (Pan et al.,

@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "data/itemset.h"
+#include "obs/memory.h"
 
 namespace fim {
 
@@ -35,6 +36,16 @@ class ClosedSetRepository {
 
   /// Number of allocated tree nodes (memory diagnostics).
   std::size_t NodeCount() const { return nodes_.size(); }
+
+  /// Exact heap footprint (capacity bytes) as a breakdown named
+  /// "repository": the flat per-item top level vs the node arena. O(1).
+  obs::MemoryComponent ApproxMemoryUsage() const {
+    obs::MemoryComponent repo("repository");
+    repo.children.emplace_back("top-level",
+                               top_.capacity() * sizeof(top_[0]));
+    repo.children.emplace_back("nodes", nodes_.capacity() * sizeof(Node));
+    return repo;
+  }
 
   /// Exhaustively checks the structural invariants of the repository and
   /// returns OK, or an Internal status naming the first violation:

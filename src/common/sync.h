@@ -98,6 +98,11 @@ enum class LockRank : std::uint32_t {
   /// sample into a vector and takes no other lock.
   kPerfDomains = 375,
 
+  /// obs::MemoryBreakdown::mutex_ — memory-component snapshot records
+  /// from miners and tools. A leaf like the perf-domain collector:
+  /// Record merges one component tree and takes no other lock.
+  kMemoryBreakdown = 390,
+
   /// MetricRegistry::mutex_ — name -> metric lookup. A leaf: increments
   /// are atomic and a registry critical section takes no other lock.
   kMetricRegistry = 400,

@@ -94,6 +94,13 @@ inline PeakRssResult PeakRssBytes() {
 /// to 0. Prefer PeakRssBytes() where "unknown" matters.
 inline std::size_t PeakRss() { return PeakRssBytes().bytes; }
 
+/// Byte counts rendered as MiB — the one shared conversion for every
+/// human-readable rendering (stats text, sampler trace counters,
+/// fim-prof tables), so the unit cannot drift between them.
+inline double BytesToMib(std::size_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
 }  // namespace fim
 
 #endif  // FIM_COMMON_TIMER_H_

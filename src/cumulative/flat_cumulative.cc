@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/memory.h"
 
 namespace fim {
 
@@ -71,6 +72,26 @@ Status MineClosedFlatCumulative(const TransactionDatabase& db,
   if (stats != nullptr) {
     stats->repo_sets = repo.size();
     stats->final_nodes = repo.size();
+  }
+  if (options.memory != nullptr) {
+    obs::MemoryComponent coded_db = coded.ApproxMemoryUsage();
+    coded_db.name = "recoded-db";
+    options.memory->Record(std::move(coded_db));
+    // The flat repository is a node-based hash map; buckets and nodes
+    // are estimated from the libstdc++ layout (one next pointer plus the
+    // cached hash per node), the key buffers are exact.
+    obs::MemoryComponent flat("flat-repository");
+    flat.children.emplace_back("buckets",
+                               repo.bucket_count() * sizeof(void*));
+    flat.children.emplace_back(
+        "nodes", repo.size() * (sizeof(Repository::value_type) +
+                                2 * sizeof(void*)));
+    std::size_t key_bytes = 0;
+    for (const auto& [items, support] : repo) {
+      key_bytes += items.capacity() * sizeof(ItemId);
+    }
+    flat.children.emplace_back("keys", key_bytes);
+    options.memory->Record(std::move(flat));
   }
   const ClosedSetCallback decoded = MakeDecodingCallback(recoding, callback);
   for (const auto& [items, support] : repo) {

@@ -9,6 +9,10 @@
 
 namespace fim {
 
+namespace obs {
+class MemoryBreakdown;
+}  // namespace obs
+
 /// Options of the flat cumulative baseline.
 struct FlatCumulativeOptions {
   /// Absolute minimum support; must be >= 1.
@@ -19,6 +23,11 @@ struct FlatCumulativeOptions {
 
   /// Transaction processing order (kept for the §3.4 ablation).
   TransactionOrder transaction_order = TransactionOrder::kSizeAscending;
+
+  /// Optional memory attribution (obs/memory.h): records the flat
+  /// repository at its final (largest) size. Output-neutral; must
+  /// outlive the call.
+  obs::MemoryBreakdown* memory = nullptr;
 };
 
 /// The cumulative intersection scheme of Mielikäinen (FIMI'03) with the

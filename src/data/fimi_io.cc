@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/memory.h"
+
 namespace fim {
 
 namespace {
@@ -42,6 +44,7 @@ bool ParseLine(std::string_view line, std::vector<ItemId>* items,
 }  // namespace
 
 Result<TransactionDatabase> ParseFimi(std::string_view text) {
+  obs::MemDomainScope mem_domain(obs::MemDomain::kReader);
   TransactionDatabase db;
   std::vector<ItemId> items;
   std::string error;
@@ -68,6 +71,7 @@ Result<TransactionDatabase> ParseFimi(std::string_view text) {
 }
 
 Result<TransactionDatabase> ReadFimiFile(const std::string& path) {
+  obs::MemDomainScope mem_domain(obs::MemDomain::kReader);
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open " + path);
   std::ostringstream buffer;

@@ -5,6 +5,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/memory.h"
 #include "obs/timeline.h"
 
 namespace fim {
@@ -113,6 +114,7 @@ void ParallelStableSort(
     workers.reserve(num_chunks);
     for (std::size_t c = 0; c < num_chunks; ++c) {
       workers.emplace_back([mapped, &bounds, less, timeline, c]() {
+        obs::MemDomainScope worker_mem_domain(obs::MemDomain::kRecode);
         obs::TimelineLane* wlane =
             timeline != nullptr
                 ? timeline->AddLane("recode-sort-" + std::to_string(c))
@@ -129,6 +131,7 @@ void ParallelStableSort(
     for (std::size_t c = 0; c + stride < num_chunks; c += 2 * stride) {
       mergers.emplace_back(
           [mapped, &bounds, less, timeline, c, stride, num_chunks]() {
+            obs::MemDomainScope merger_mem_domain(obs::MemDomain::kRecode);
             obs::TimelineLane* mlane =
                 timeline != nullptr
                     ? timeline->AddLane("recode-merge-" +
@@ -166,6 +169,7 @@ TransactionDatabase ApplyRecoding(const TransactionDatabase& db,
                                   TransactionOrder transaction_order,
                                   unsigned num_threads,
                                   obs::Timeline* timeline) {
+  obs::MemDomainScope mem_domain(obs::MemDomain::kRecode);
   const auto& transactions = db.transactions();
   const std::size_t num_chunks = std::max<std::size_t>(
       std::min<std::size_t>(num_threads, transactions.size()), 1);
@@ -183,6 +187,7 @@ TransactionDatabase ApplyRecoding(const TransactionDatabase& db,
     workers.reserve(num_chunks);
     for (std::size_t c = 0; c < num_chunks; ++c) {
       workers.emplace_back([&, c]() {
+        obs::MemDomainScope worker_mem_domain(obs::MemDomain::kRecode);
         obs::TimelineLane* wlane =
             timeline != nullptr
                 ? timeline->AddLane("recode-map-" + std::to_string(c))

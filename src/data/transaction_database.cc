@@ -68,4 +68,31 @@ Support TransactionDatabase::CountSupport(std::span<const ItemId> items) const {
   return s;
 }
 
+obs::MemoryComponent TransactionDatabase::ApproxMemoryUsage() const {
+  obs::MemoryComponent db("database");
+  std::size_t row_bytes = 0;
+  for (const auto& t : transactions_) {
+    row_bytes += t.capacity() * sizeof(ItemId);
+  }
+  obs::MemoryComponent transactions("transactions");
+  transactions.children.emplace_back(
+      "spine", transactions_.capacity() * sizeof(transactions_[0]));
+  transactions.children.emplace_back("rows", row_bytes);
+  db.children.push_back(std::move(transactions));
+  if (!item_names_.empty()) {
+    std::size_t name_bytes = item_names_.capacity() * sizeof(item_names_[0]);
+    for (const auto& name : item_names_) {
+      // Count only heap-backed strings: an SSO buffer lives inside the
+      // vector storage already counted above.
+      const char* data = name.data();
+      const char* object = reinterpret_cast<const char*>(&name);
+      if (data < object || data >= object + sizeof(name)) {
+        name_bytes += name.capacity() + 1;  // +1: the terminator slot
+      }
+    }
+    db.children.emplace_back("item-names", name_bytes);
+  }
+  return db;
+}
+
 }  // namespace fim

@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "data/itemset.h"
+#include "obs/memory.h"
 
 namespace fim {
 
@@ -65,6 +66,12 @@ class TransactionDatabase {
   /// Support of an arbitrary (sorted) item set by direct counting.
   /// O(total database size); meant for tests and small inputs.
   Support CountSupport(std::span<const ItemId> items) const;
+
+  /// Exact heap footprint (capacity bytes) as a breakdown named
+  /// "database": the transaction spine + per-row buffers vs the
+  /// optional item names. O(NumTransactions()) — call once at record
+  /// time, not per transaction.
+  obs::MemoryComponent ApproxMemoryUsage() const;
 
  private:
   std::vector<std::vector<ItemId>> transactions_;

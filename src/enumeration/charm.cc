@@ -6,6 +6,7 @@
 
 #include "data/recode.h"
 #include "kernels/intersect.h"
+#include "obs/memory.h"
 
 namespace fim {
 
@@ -144,6 +145,25 @@ Status MineClosedCharm(const TransactionDatabase& db,
       roots.push_back(Node{{static_cast<ItemId>(i)},
                            std::move(tidlists[i])});
     }
+  }
+
+  if (options.memory != nullptr) {
+    obs::MemoryComponent coded_db = coded.ApproxMemoryUsage();
+    coded_db.name = "recoded-db";
+    options.memory->Record(std::move(coded_db));
+    // Root itemset-tidset pairs: the largest vertical structure — child
+    // tidsets are intersections of these, so strictly smaller.
+    obs::MemoryComponent vertical("root-tidsets");
+    vertical.self_bytes = roots.capacity() * sizeof(roots[0]);
+    std::size_t tid_bytes = 0;
+    std::size_t item_bytes = 0;
+    for (const auto& root : roots) {
+      tid_bytes += root.tids.capacity() * sizeof(Tid);
+      item_bytes += root.items.capacity() * sizeof(ItemId);
+    }
+    vertical.children.emplace_back("tids", tid_bytes);
+    vertical.children.emplace_back("items", item_bytes);
+    options.memory->Record(std::move(vertical));
   }
 
   const ClosedSetCallback decoded = MakeDecodingCallback(recoding, callback);

@@ -8,10 +8,19 @@
 
 namespace fim {
 
+namespace obs {
+class MemoryBreakdown;
+}  // namespace obs
+
 /// Options of the CHARM baseline.
 struct CharmOptions {
   /// Absolute minimum support; must be >= 1.
   Support min_support = 1;
+
+  /// Optional memory attribution (obs/memory.h): records the root
+  /// itemset-tidset pairs after the vertical build. Output-neutral;
+  /// must outlive the call.
+  obs::MemoryBreakdown* memory = nullptr;
 };
 
 /// Closed frequent item set mining with a CHARM-style itemset-tidset

@@ -6,6 +6,7 @@
 
 #include "data/recode.h"
 #include "enumeration/fptree.h"
+#include "obs/memory.h"
 
 namespace fim {
 
@@ -145,6 +146,21 @@ Status MineClosedFpClose(const TransactionDatabase& db,
 
   FpCloseMiner miner(options.min_support, stats);
   std::vector<Candidate> candidates = miner.Run(coded);
+  if (options.memory != nullptr) {
+    obs::MemoryComponent coded_db = coded.ApproxMemoryUsage();
+    coded_db.name = "recoded-db";
+    options.memory->Record(std::move(coded_db));
+    // The candidate pool before the closed filter is the enumeration
+    // side's largest structure (conditional trees are transient).
+    obs::MemoryComponent pool("candidates");
+    pool.self_bytes = candidates.capacity() * sizeof(candidates[0]);
+    std::size_t item_bytes = 0;
+    for (const auto& candidate : candidates) {
+      item_bytes += candidate.items.capacity() * sizeof(ItemId);
+    }
+    pool.children.emplace_back("items", item_bytes);
+    options.memory->Record(std::move(pool));
+  }
   std::vector<Candidate> closed = FilterClosed(std::move(candidates), stats);
 
   const ClosedSetCallback decoded = MakeDecodingCallback(recoding, callback);

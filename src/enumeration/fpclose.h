@@ -8,10 +8,18 @@
 
 namespace fim {
 
+namespace obs {
+class MemoryBreakdown;
+}  // namespace obs
+
 /// Options of the FP-close baseline.
 struct FpCloseOptions {
   /// Absolute minimum support; must be >= 1.
   Support min_support = 1;
+
+  /// Optional memory attribution (obs/memory.h): records the root
+  /// FP-tree after the build. Output-neutral; must outlive the call.
+  obs::MemoryBreakdown* memory = nullptr;
 };
 
 /// Closed frequent item set mining via FP-growth (the enumeration-side

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "data/recode.h"
 #include "kernels/intersect.h"
+#include "obs/memory.h"
 
 namespace fim {
 
@@ -103,6 +104,13 @@ class LcmCore {
 
   Support min_support() const { return min_support_; }
 
+  // The vertical tid lists are built once and dominate the footprint
+  // (per-branch occurrence vectors are intersections, strictly smaller).
+  void RecordMemory(obs::MemoryBreakdown* memory) const {
+    if (memory == nullptr) return;
+    memory->RecordBytes("tid-lists", obs::NestedVectorBytes(tidlists_));
+  }
+
  private:
   const TransactionDatabase& db_;
   std::vector<std::vector<Tid>> tidlists_;
@@ -140,6 +148,7 @@ void MineParallel(const LcmCore& core, const std::vector<ItemId>& root,
   std::vector<MinerStats> task_stats(stats != nullptr ? tasks.size() : 0);
   std::atomic<std::size_t> next{0};
   auto worker = [&]() {
+    obs::MemDomainScope mem_domain(obs::MemDomain::kMine);
     for (;;) {
       const std::size_t t = next.fetch_add(1);
       if (t >= tasks.size()) return;
@@ -188,6 +197,12 @@ Status MineClosedLcm(const TransactionDatabase& db, const LcmOptions& options,
 
   const ClosedSetCallback decoded = MakeDecodingCallback(recoding, callback);
   LcmCore core(coded, options.min_support);
+  if (options.memory != nullptr) {
+    obs::MemoryComponent coded_db = coded.ApproxMemoryUsage();
+    coded_db.name = "recoded-db";
+    options.memory->Record(std::move(coded_db));
+    core.RecordMemory(options.memory);
+  }
 
   const auto n = static_cast<Support>(coded.NumTransactions());
   if (n < options.min_support) return Status::OK();

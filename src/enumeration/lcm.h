@@ -8,6 +8,10 @@
 
 namespace fim {
 
+namespace obs {
+class MemoryBreakdown;
+}  // namespace obs
+
 /// Options of the LCM-style baseline.
 struct LcmOptions {
   /// Absolute minimum support; must be >= 1.
@@ -17,6 +21,10 @@ struct LcmOptions {
   /// the prefix-preserving extension out to a thread pool; the output
   /// (and its order) is identical to the sequential run.
   unsigned num_threads = 1;
+
+  /// Optional memory attribution (obs/memory.h): records the vertical
+  /// tid lists after the build. Output-neutral; must outlive the call.
+  obs::MemoryBreakdown* memory = nullptr;
 };
 
 /// Closed frequent item set mining in the style of LCM (Uno et al.):

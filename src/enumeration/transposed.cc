@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "kernels/intersect.h"
+#include "obs/memory.h"
 
 namespace fim {
 
@@ -38,6 +39,21 @@ class TransposedMiner {
     std::vector<Tid> root = IntersectRows(all_rows);
     if (root.size() >= min_support_) Report(root, all_rows);
     Extend(root, all_rows, /*core=*/static_cast<Tid>(-1));
+  }
+
+  // The transposed rows are built once and dominate the footprint; the
+  // scratch vectors never exceed one row.
+  void RecordMemory(obs::MemoryBreakdown* memory) const {
+    if (memory == nullptr) return;
+    obs::MemoryComponent transpose("transposed-rows");
+    transpose.children.emplace_back("rows", obs::NestedVectorBytes(rows_));
+    transpose.children.emplace_back(
+        "used-items", used_items_.capacity() * sizeof(ItemId));
+    transpose.children.emplace_back(
+        "scratch", order_.capacity() * sizeof(std::size_t) +
+                       (inter_ping_.capacity() + inter_pong_.capacity()) *
+                           sizeof(Tid));
+    memory->Record(std::move(transpose));
   }
 
  private:
@@ -141,6 +157,7 @@ Status MineClosedTransposed(const TransactionDatabase& db,
   if (db.NumTransactions() == 0) return Status::OK();
   TransposedMiner miner(db, options.min_support, callback, stats);
   miner.Run();
+  miner.RecordMemory(options.memory);
   return Status::OK();
 }
 

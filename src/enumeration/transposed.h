@@ -8,10 +8,19 @@
 
 namespace fim {
 
+namespace obs {
+class MemoryBreakdown;
+}  // namespace obs
+
 /// Options of the transposition miner.
 struct TransposedOptions {
   /// Absolute minimum support; must be >= 1.
   Support min_support = 1;
+
+  /// Optional memory attribution (obs/memory.h): records the transposed
+  /// database rows after the build. Output-neutral; must outlive the
+  /// call.
+  obs::MemoryBreakdown* memory = nullptr;
 };
 
 /// Transposition-based closed mining (Rioult et al., DMKD'03 — the [17]

@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "ista/prefix_tree.h"
+#include "obs/memory.h"
 #include "obs/perf.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
@@ -15,6 +16,22 @@
 namespace fim {
 
 namespace {
+
+/// Records the preprocessing structures that stay alive for the whole
+/// mining call: the recoded database, the weighted stream over it, and
+/// the per-worker remaining-occurrence tables.
+void RecordPreprocessingMemory(obs::MemoryBreakdown* memory,
+                               const TransactionDatabase& coded,
+                               std::size_t stream_bytes,
+                               std::size_t remaining_tables) {
+  if (memory == nullptr) return;
+  obs::MemoryComponent coded_db = coded.ApproxMemoryUsage();
+  coded_db.name = "recoded-db";
+  memory->Record(std::move(coded_db));
+  memory->RecordBytes("weighted-stream", stream_bytes);
+  memory->RecordBytes("remaining-tables",
+                      remaining_tables * coded.NumItems() * sizeof(Support));
+}
 
 /// One entry of the mining stream: a recoded transaction plus its
 /// multiplicity after duplicate merging.
@@ -137,12 +154,17 @@ Status MineClosedIsta(const TransactionDatabase& db, const IstaOptions& options,
   const std::size_t num_workers = std::min<std::size_t>(
       std::max(1u, options.num_threads), stream.size());
 
+  RecordPreprocessingMemory(options.memory, coded,
+                            stream.capacity() * sizeof(stream[0]),
+                            num_workers);
+
   if (num_workers <= 1) {
     std::vector<Support> remaining = frequencies;
     obs::Phase mine_phase(trace, lane, "shard-mine");
     std::optional<IstaPrefixTree> tree_slot;
     {
       obs::PerfDomainScope shard_domain(options.perf_domains, "shard-0");
+      obs::MemDomainScope mem_domain(obs::MemDomain::kIstaTree);
       tree_slot.emplace(MineShard(stream, 0, stream.size(), coded.NumItems(),
                                   &remaining, options, lane));
       shard_domain.AddWorkSteps(tree_slot->IsectSteps());
@@ -150,6 +172,12 @@ Status MineClosedIsta(const TransactionDatabase& db, const IstaOptions& options,
     IstaPrefixTree& tree = *tree_slot;
     mine_phase.End();
     FIM_DCHECK_OK(tree.ValidateInvariants());
+    if (options.memory != nullptr) {
+      obs::MemoryComponent trees("prefix-trees");
+      trees.children.push_back(tree.ApproxMemoryUsage());
+      trees.children.back().name = "shard-0";
+      options.memory->Record(std::move(trees));
+    }
     obs::Phase report_phase(trace, lane, "report");
     ReportWithStats(tree, recoding, options.min_support, callback, stats);
     return Status::OK();
@@ -179,6 +207,7 @@ Status MineClosedIsta(const TransactionDatabase& db, const IstaOptions& options,
         obs::TimelineScope shard_scope(wlane, "shard-mine");
         obs::PerfDomainScope shard_domain(options.perf_domains,
                                           "shard-" + std::to_string(w));
+        obs::MemDomainScope mem_domain(obs::MemDomain::kIstaTree);
         const std::size_t begin = w * stream.size() / num_workers;
         const std::size_t end = (w + 1) * stream.size() / num_workers;
         remaining[w] = frequencies;
@@ -192,6 +221,19 @@ Status MineClosedIsta(const TransactionDatabase& db, const IstaOptions& options,
       });
     }
     for (auto& worker : workers) worker.join();
+  }
+
+  if (options.memory != nullptr) {
+    // Snapshot the per-shard repositories at their collective largest:
+    // after the shard phase every worker's tree is live at once. The
+    // merge releases absorbed trees, so the merged-tree snapshot below
+    // usually totals less; Record keeps whichever is larger.
+    obs::MemoryComponent trees_component("prefix-trees");
+    for (std::size_t w = 0; w < num_workers; ++w) {
+      trees_component.children.push_back(trees[w]->ApproxMemoryUsage());
+      trees_component.children.back().name = "shard-" + std::to_string(w);
+    }
+    options.memory->Record(std::move(trees_component));
   }
 
   // Pairwise reduction: the closed sets of a transaction stream are a
@@ -226,6 +268,7 @@ Status MineClosedIsta(const TransactionDatabase& db, const IstaOptions& options,
               obs::PerfDomainScope merge_domain(
                   options.perf_domains, "merge-" + std::to_string(stride) +
                                             "-" + std::to_string(i));
+              obs::MemDomainScope mem_domain(obs::MemDomain::kIstaTree);
               // Replaying the smaller repository into the larger one is
               // cheaper (the replay visits every stored set of the source);
               // the result is identical either way. The remaining table
@@ -266,6 +309,12 @@ Status MineClosedIsta(const TransactionDatabase& db, const IstaOptions& options,
 
   IstaPrefixTree& tree = *trees.front();
   FIM_DCHECK_OK(tree.ValidateInvariants());
+  if (options.memory != nullptr) {
+    obs::MemoryComponent trees_component("prefix-trees");
+    trees_component.children.push_back(tree.ApproxMemoryUsage());
+    trees_component.children.back().name = "merged";
+    options.memory->Record(std::move(trees_component));
+  }
   obs::Phase report_phase(trace, lane, "report");
   ReportWithStats(tree, recoding, options.min_support, callback, stats);
   if (stats != nullptr) stats->merge_calls = merge_calls;

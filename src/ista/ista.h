@@ -13,6 +13,7 @@
 namespace fim {
 
 namespace obs {
+class MemoryBreakdown;
 class PerfDomainCollector;
 class Timeline;
 }  // namespace obs
@@ -68,6 +69,13 @@ struct IstaOptions {
   /// fim-prof work-inflation table renders. Output-neutral; must
   /// outlive the call.
   obs::PerfDomainCollector* perf_domains = nullptr;
+
+  /// Optional memory attribution (obs/memory.h): records the recoded
+  /// database, the weighted stream, the remaining-occurrence tables and
+  /// the prefix trees (per-shard children after the shard phase, the
+  /// merged tree before the report — the collector keeps whichever
+  /// snapshot is larger). Output-neutral; must outlive the call.
+  obs::MemoryBreakdown* memory = nullptr;
 };
 
 // Execution statistics (optional output of MineClosedIsta): the unified

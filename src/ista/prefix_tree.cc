@@ -376,6 +376,51 @@ void IstaPrefixTree::Prune(Support min_support,
   FIM_DCHECK_OK(ValidateInvariants());
 }
 
+obs::MemoryComponent IstaPrefixTree::ApproxMemoryUsage() const {
+  // Bytes one node occupies across the four parallel columns, derived
+  // from the vectors so a field-type change cannot desynchronize this.
+  constexpr std::size_t kColumnBytesPerNode =
+      sizeof(node_step_[0]) + sizeof(node_item_[0]) + sizeof(node_supp_[0]) +
+      sizeof(node_trans_[0]);
+  constexpr std::size_t kLinkBytesPerNode = 2 * sizeof(links_[0]);
+  // Reachable slots: the live nodes plus the pseudo-root (which owns
+  // column and link slots like any other node).
+  const std::size_t live_nodes = node_count_ + 1;
+
+  obs::MemoryComponent tree("prefix-tree");
+
+  obs::MemoryComponent columns("node-columns");
+  const std::size_t column_capacity_bytes =
+      node_step_.capacity() * sizeof(node_step_[0]) +
+      node_item_.capacity() * sizeof(node_item_[0]) +
+      node_supp_.capacity() * sizeof(node_supp_[0]) +
+      node_trans_.capacity() * sizeof(node_trans_[0]);
+  const std::size_t column_live_bytes = live_nodes * kColumnBytesPerNode;
+  columns.children.emplace_back("live", column_live_bytes);
+  columns.children.emplace_back(
+      "garbage", column_capacity_bytes > column_live_bytes
+                     ? column_capacity_bytes - column_live_bytes
+                     : 0);
+  tree.children.push_back(std::move(columns));
+
+  obs::MemoryComponent links("link-arena");
+  const std::size_t link_capacity_bytes =
+      links_.capacity() * sizeof(links_[0]);
+  const std::size_t link_live_bytes = live_nodes * kLinkBytesPerNode;
+  links.children.emplace_back("live", link_live_bytes);
+  links.children.emplace_back("garbage",
+                              link_capacity_bytes > link_live_bytes
+                                  ? link_capacity_bytes - link_live_bytes
+                                  : 0);
+  tree.children.push_back(std::move(links));
+
+  tree.children.emplace_back(
+      "scratch",
+      in_transaction_.capacity() * sizeof(in_transaction_[0]) +
+          isect_stack_.capacity() * sizeof(isect_stack_[0]));
+  return tree;
+}
+
 namespace {
 
 std::string NodeLabel(uint32_t index, ItemId item) {

@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "data/itemset.h"
+#include "obs/memory.h"
 
 namespace fim {
 
@@ -110,6 +111,16 @@ class IstaPrefixTree {
   /// Total transaction weight processed so far (each AddTransaction adds
   /// its weight; Merge adds the replayed weight of the other tree).
   uint64_t TotalWeight() const { return total_weight_; }
+
+  /// Exact heap footprint of the repository (capacity bytes of the SoA
+  /// arenas), as a breakdown named "prefix-tree": the node columns and
+  /// the link arena each split into "live" (slots of reachable nodes)
+  /// and "garbage" (allocated-but-dead slots plus capacity slack —
+  /// vectors never shrink, so this is the pruning/growth overhead),
+  /// plus the transaction-flag and Isect-stack scratch. The total
+  /// matches what the FIM_MEM_PROFILE allocation tracker counts for the
+  /// tree's domain. O(1).
+  obs::MemoryComponent ApproxMemoryUsage() const;
 
   /// Exhaustively checks the structural invariants of the repository
   /// (paper §3.3, Figure 2) and returns OK, or an Internal status naming

@@ -49,6 +49,14 @@ class TidSet {
   /// the same universe.
   static void Intersect(const TidSet& a, const TidSet& b, TidSet* result);
 
+  /// Exact heap bytes behind this set (capacity of whichever buffers
+  /// exist — a set that crossed the density cutover may hold both).
+  /// Summed per column by the miners feeding the memory breakdown.
+  std::size_t ApproxMemoryUsage() const {
+    return sparse_.capacity() * sizeof(Tid) +
+           words_.capacity() * sizeof(std::uint64_t);
+  }
+
  private:
   static bool ShouldBeDense(std::size_t count, Tid universe) {
     return static_cast<std::uint64_t>(count) * kDensityCutover >=

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "data/itemset.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/miner_stats.h"
 #include "obs/perf.h"
@@ -35,6 +36,10 @@ struct StatsReport {
   /// Optional: hardware-counter report (`--perf-counters`); adds the
   /// "perf" section. May be nullptr.
   const PerfReport* perf = nullptr;
+
+  /// Optional: memory-attribution report (`--mem-stats`); adds the
+  /// "memory" section. May be nullptr.
+  const MemoryReport* memory = nullptr;
 };
 
 /// Human-readable rendering (aligned counter table + indented span
@@ -70,6 +75,19 @@ std::string RenderStatsText(const StatsReport& report);
 ///                   "peak_rss_bytes": N|null },
 ///       "domains": [ { "name": "shard-0", "work_steps": N,
 ///                      "cpu_seconds": F, "cycles": N|null, ... } ]
+///     },
+///     "memory": {                                 // with --mem-stats
+///       "accounted_bytes": N, "high_water_bytes": N,
+///       "peak_rss_bytes": N|null, "rss_coverage": F|null,
+///       "components": [ { "name": "...", "self_bytes": N,
+///                         "total_bytes": N,
+///                         "children": [ ... ] }, ... ],
+///       "profile": {                              // FIM_MEM_PROFILE only
+///         "live_bytes": N, "peak_live_bytes": N, "alloc_bytes": N,
+///         "allocs": N, "frees": N, "foreign_frees": N,
+///         "domains": [ { "name": "ista-tree", "live_bytes": N,
+///                        "peak_live_bytes": N, "alloc_bytes": N,
+///                        "allocs": N, "frees": N }, ... ] } | null
 ///     }
 ///   }
 ///

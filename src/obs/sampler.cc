@@ -9,6 +9,7 @@
 
 #include "common/timer.h"
 #include "obs/json.h"
+#include "obs/memory.h"
 
 namespace fim::obs {
 
@@ -171,6 +172,27 @@ void MetricsSampler::EmitSample() {
   writer.Key("peak_rss_bytes");
   writer.Number(static_cast<std::uint64_t>(PeakRss()));
 
+  // Live memory lane: the self-measured accounted bytes (when a source
+  // is attached) and the allocation tracker's exact live bytes (when
+  // compiled in). Absent fields mean "not measured", never 0.
+  std::size_t accounted = 0;
+  const bool have_accounted = static_cast<bool>(options_.accounted_bytes);
+  if (have_accounted) accounted = options_.accounted_bytes();
+  const MemProfileSnapshot profile = SnapshotMemProfile();
+  if (have_accounted || profile.enabled) {
+    writer.Key("mem");
+    writer.BeginObject();
+    if (have_accounted) {
+      writer.Key("accounted_bytes");
+      writer.Number(static_cast<std::uint64_t>(accounted));
+    }
+    if (profile.enabled) {
+      writer.Key("live_bytes");
+      writer.Number(profile.live_bytes);
+    }
+    writer.EndObject();
+  }
+
   if (options_.registry != nullptr) {
     if (!options_.throughput_counter.empty()) {
       const auto counters = options_.registry->CounterValues();
@@ -228,8 +250,14 @@ void MetricsSampler::EmitSample() {
 
   if (options_.lane != nullptr) {
     options_.lane->Instant("sample");
-    options_.lane->Counter(
-        "rss_mib", static_cast<double>(PeakRss()) / (1024.0 * 1024.0));
+    options_.lane->Counter("rss_mib", BytesToMib(PeakRss()));
+    if (have_accounted) {
+      options_.lane->Counter("mem.accounted_mib", BytesToMib(accounted));
+    }
+    if (profile.enabled) {
+      options_.lane->Counter("mem.live_mib",
+                             BytesToMib(profile.live_bytes));
+    }
   }
 }
 

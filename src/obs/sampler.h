@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
 #include <thread>
@@ -35,6 +36,14 @@ struct MetricsSamplerOptions {
   /// long-running runs show their sampling cadence in the trace. The
   /// lane must be dedicated to the sampler thread (single-writer).
   TimelineLane* lane = nullptr;
+
+  /// Optional live accounted-bytes source (e.g. a closure over
+  /// StreamMiner::ApproxMemoryUsage): each sample reports its value as
+  /// `mem.accounted_bytes` in the JSONL line and, with a lane, as a
+  /// "mem.accounted_mib" counter track next to "rss_mib". Called on the
+  /// sampler thread, so it must be thread-safe; keep it cheap (it runs
+  /// once per period).
+  std::function<std::size_t()> accounted_bytes;
 };
 
 /// Background metrics sampler for long-running sessions: a thread that
@@ -44,8 +53,14 @@ struct MetricsSamplerOptions {
 ///
 ///   {"schema":"fim-statsline-v1","seq":0,"elapsed_seconds":1.0,
 ///    "peak_rss_bytes":N,"tx_per_second":F,
+///    "mem":{"accounted_bytes":N,"live_bytes":N},   // optional, see below
 ///    "counters":{...},"distributions":{"name":{"count":N,"sum":N,
 ///    "min":N,"max":N,"mean":F,"p50":F,"p95":F,"p99":F},...}}
+///
+/// The "mem" object appears when an accounted_bytes source is attached
+/// and/or the binary carries the FIM_MEM_PROFILE allocation tracker
+/// (live_bytes then is the tracker's exact live-byte count); fields that
+/// have no source are omitted, never faked as 0.
 ///
 /// Sampling starts on construction. Stop() (or the destructor) wakes the
 /// thread, joins it, and emits one final sample — so even a run shorter

@@ -27,6 +27,7 @@
 #include <utility>
 
 #include "data/binary_io.h"
+#include "obs/memory.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
 #include "stream/stream_miner.h"
@@ -57,6 +58,7 @@ Status Corrupt(const std::string& what) {
 }  // namespace
 
 Status StreamMiner::CheckpointTo(std::ostream& out) {
+  obs::MemDomainScope mem_domain(obs::MemDomain::kCheckpoint);
   obs::Phase checkpoint_phase(options_.trace, lane_, "checkpoint");
   FrozenState frozen;
   {
@@ -118,6 +120,7 @@ Status StreamMiner::Checkpoint(const std::string& path) {
 Result<std::unique_ptr<StreamMiner>> StreamMiner::RestoreFrom(
     std::istream& in, obs::MetricRegistry* registry, obs::Trace* trace,
     obs::Timeline* timeline) {
+  obs::MemDomainScope mem_domain(obs::MemDomain::kCheckpoint);
   const std::streampos begin = in.tellg();
   char magic[4];
   in.read(magic, sizeof(magic));

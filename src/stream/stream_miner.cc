@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/timer.h"
+#include "obs/memory.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
 
@@ -50,6 +52,7 @@ void StreamMiner::Bump(CounterIndex which, std::uint64_t n) {
 }
 
 Status StreamMiner::AddTransaction(std::vector<ItemId> items) {
+  obs::MemDomainScope mem_domain(obs::MemDomain::kStream);
   NormalizeItems(&items);
   if (items.empty()) {
     return Status::InvalidArgument("empty transaction");
@@ -101,7 +104,14 @@ void StreamMiner::SealLiveLocked() {
   segments_.push_back(Segment{
       current_pane_, std::shared_ptr<const IstaPrefixTree>(live_.release())});
   live_ = std::make_unique<IstaPrefixTree>(options_.max_items);
-  if (lane_ != nullptr) lane_->Instant("seal");
+  if (lane_ != nullptr) {
+    lane_->Instant("seal");
+    // Heap step of the rotation: the bytes that just became immutable.
+    // Renders as a counter track next to the sampler's mem.* lanes.
+    lane_->Counter("mem.sealed_mib",
+                   BytesToMib(segments_.back().tree->ApproxMemoryUsage()
+                                  .TotalBytes()));
+  }
 }
 
 void StreamMiner::RotateLocked() {
@@ -125,6 +135,7 @@ Status StreamMiner::Query(Support min_support,
   if (min_support == 0) {
     return Status::InvalidArgument("min_support must be >= 1");
   }
+  obs::MemDomainScope mem_domain(obs::MemDomain::kStream);
   obs::Phase query_phase(options_.trace, lane_, "query");
   std::vector<Segment> covered;
   {
@@ -260,6 +271,24 @@ StreamStats StreamMiner::Stats() const {
     stats.repository_nodes += segment.tree->NodeCount();
   }
   return stats;
+}
+
+obs::MemoryComponent StreamMiner::ApproxMemoryUsage() const {
+  const MutexLock lock(mutex_);
+  obs::MemoryComponent stream("stream");
+  obs::MemoryComponent live = live_->ApproxMemoryUsage();
+  live.name = "live-tree";
+  stream.children.push_back(std::move(live));
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    obs::MemoryComponent segment = segments_[i].tree->ApproxMemoryUsage();
+    segment.name = "segment-" + std::to_string(i);
+    stream.children.push_back(std::move(segment));
+  }
+  stream.children.emplace_back(
+      "segment-spine", segments_.capacity() * sizeof(Segment));
+  stream.children.emplace_back(
+      "pending-run", pending_items_.capacity() * sizeof(ItemId));
+  return stream;
 }
 
 StreamMiner::FrozenState StreamMiner::FreezeLocked() {

@@ -178,6 +178,12 @@ class StreamMiner {
   /// Current counter snapshot.
   StreamStats Stats() const FIM_EXCLUDES(mutex_);
 
+  /// Exact heap footprint as a breakdown named "stream": the live tree,
+  /// one child per sealed segment ("segment-<i>", pane-tagged names
+  /// would collide after compaction), and the pending duplicate run.
+  /// O(segments); safe to call while other threads ingest.
+  obs::MemoryComponent ApproxMemoryUsage() const FIM_EXCLUDES(mutex_);
+
   const StreamMinerOptions& options() const { return options_; }
 
  private:

@@ -45,6 +45,11 @@
 //             stacks (`fim-prof-v1`, flamegraph.pl-compatible) written
 //             to PATH, or stderr without =PATH. Combine with --trace-out
 //             to see the sample cadence as a "profiler" lane.
+//   --mem-stats
+//             collect the per-structure memory breakdown (prefix trees,
+//             tid lists, matrices, the recoded database) and add the
+//             `memory` section to the stats report (implies --stats).
+//             Output-neutral like every other observability flag.
 //   input     transaction file, FIMI text or FIMB binary (auto-detected)
 //   output    result file; "-" or absent: stdout
 //
@@ -79,7 +84,7 @@ void Usage() {
                "usage: fim-mine [-a algorithm] [-s minsupp | -S percent] "
                "[-t threads] [-m] [-q] [--kernel=NAME] [--stats[=text|json]] "
                "[--stats-out=PATH] [--trace-out=PATH] [--perf-counters] "
-               "[--profile[=PATH]] input [output]\n");
+               "[--profile[=PATH]] [--mem-stats] input [output]\n");
 }
 
 }  // namespace
@@ -176,6 +181,7 @@ int main(int argc, char** argv) {
   if (obs_flags.WantTrace()) timeline = std::make_unique<obs::Timeline>();
   tools::PerfSession perf_session;
   perf_session.Start(obs_flags, trace, timeline.get());
+  tools::MemSession mem_session(obs_flags);
 
   obs::Span load_span(trace, "load");
   auto loaded = ReadDatabaseFile(input);
@@ -203,6 +209,7 @@ int main(int argc, char** argv) {
   options.num_threads = num_threads;
   options.timeline = timeline.get();
   options.perf_domains = perf_session.domains();
+  options.memory = mem_session.breakdown();
 
   std::ofstream file_out;
   std::ostream* out = &std::cout;
@@ -256,6 +263,12 @@ int main(int argc, char** argv) {
   // Stop the measurement layer (counters + profiler) before any export
   // touches the timeline the profiler may still be writing to.
   const obs::PerfReport* perf_report = perf_session.Finish();
+  if (mem_session.breakdown() != nullptr) {
+    // The tool owns the original database; the miners record only what
+    // they build themselves.
+    mem_session.breakdown()->Record(db.ApproxMemoryUsage());
+  }
+  const obs::MemoryReport* mem_report = mem_session.Finish();
 
   if (timeline != nullptr) {
     obs::TraceMeta meta;
@@ -278,6 +291,7 @@ int main(int argc, char** argv) {
     report.miner = miner_stats;
     report.trace = &trace_storage;
     report.perf = perf_report;
+    report.memory = mem_report;
     if (int rc = tools::EmitStatsReport(obs_flags, report); rc != 0) {
       return rc;
     }

@@ -4,12 +4,21 @@
 // fim-bench output) — for use as a perf-regression gate in CI.
 //
 //   fim-stats-diff [--rel-tol=F] [--abs-tol=F] [--time]
+//                  [--mem-rel-tol=F] [--mem-abs-tol=N]
 //                  [--structure-only] baseline.json current.json
 //
 //   --rel-tol=F   allowed relative increase per counter (fraction, e.g.
 //                 0.05 = +5%; default 0: any increase fails)
 //   --abs-tol=F   allowed absolute increase per counter (default 0);
 //                 both tolerances must be exceeded for a regression
+//   --mem-rel-tol=F, --mem-abs-tol=N
+//                 tolerances of the bytes-class metrics (peak_rss_bytes
+//                 and the memory.* fields of --mem-stats reports /
+//                 bench "mem" payloads). Defaults 0.25 and 1048576:
+//                 allocator and RSS numbers jitter across runs and
+//                 hosts, so they get a wider gate than the
+//                 deterministic work counters. Both must be exceeded to
+//                 fail; decreases are improvements.
 //   --time        also gate the timing fields (wall/cpu seconds) —
 //                 off by default because wall time is noisy
 //   --structure-only
@@ -38,6 +47,11 @@
 // failure — they are simply not compared; non-finite values (NaN/Inf
 // from a zero-division) are skipped too.
 //
+// Bytes-class metrics behave the same way: lower is better, absence on
+// either side (older schema, run without --mem-stats, platform hiding
+// RSS) is never a mismatch, and they gate under their own --mem-rel-tol
+// / --mem-abs-tol pair instead of the counter tolerances.
+//
 // Exit code 0 = no regression; 1 = regression or structure mismatch
 // (details on stderr); 2 = usage or parse error.
 
@@ -59,6 +73,7 @@ using fim::obs::JsonValue;
 void Usage() {
   std::fprintf(stderr,
                "usage: fim-stats-diff [--rel-tol=F] [--abs-tol=F] [--time] "
+               "[--mem-rel-tol=F] [--mem-abs-tol=N] "
                "[--structure-only] baseline.json current.json\n");
 }
 
@@ -76,14 +91,36 @@ bool IsTimingMetric(const std::string& name) {
          name == "perf.instructions";
 }
 
-/// perf.* metrics are host-dependent (PMU access, schema age), so their
-/// absence on either side is tolerated rather than a MISSING failure.
+/// Bytes-class metrics: memory footprints (RSS, accounted breakdown
+/// bytes). Lower is better; they gate under the --mem-* tolerances.
+bool IsBytesMetric(const std::string& name) {
+  return name == "peak_rss_bytes" || name.rfind("memory.", 0) == 0;
+}
+
+/// perf.* and bytes-class metrics are host-dependent (PMU access, RSS
+/// visibility, schema age, runs without --mem-stats), so their absence
+/// on either side is tolerated rather than a MISSING failure.
 bool IsOptionalMetric(const std::string& name) {
-  return name.rfind("perf.", 0) == 0;
+  return name.rfind("perf.", 0) == 0 || IsBytesMetric(name);
 }
 
 /// Metrics where bigger is better; a *decrease* is the regression.
 bool IsHigherBetter(const std::string& name) { return name == "perf.ipc"; }
+
+/// Copies the bytes-class metrics out of a `memory` object into `row`
+/// as memory.<name>. Handles both shapes: the stats report's memory
+/// section and a bench point's "mem" payload. Null values (peak RSS on
+/// platforms that hide it) are skipped — "not measured", never 0.
+void ExtractMemoryMetrics(const JsonValue& memory, Row* row) {
+  if (!memory.is_object()) return;
+  for (const char* name :
+       {"accounted_bytes", "high_water_bytes", "peak_rss_bytes"}) {
+    const JsonValue* value = memory.Find(name);
+    if (value != nullptr && value->kind() == JsonValue::Kind::kNumber) {
+      (*row)[std::string("memory.") + name] = value->AsNumber();
+    }
+  }
+}
 
 /// Copies the comparable hardware-counter metrics out of a `perf`
 /// object into `row` as perf.<name>. Handles both shapes: the stats
@@ -137,6 +174,14 @@ bool ExtractRows(const JsonValue& doc, const std::string& label, Rows* rows) {
     if (const JsonValue* perf = doc.Find("perf")) {
       ExtractPerfMetrics(*perf, &row);
     }
+    if (const JsonValue* rss = doc.Find("peak_rss_bytes");
+        rss != nullptr && rss->kind() == JsonValue::Kind::kNumber &&
+        rss->AsNumber() > 0.0) {
+      row["peak_rss_bytes"] = rss->AsNumber();
+    }
+    if (const JsonValue* memory = doc.Find("memory")) {
+      ExtractMemoryMetrics(*memory, &row);
+    }
     (*rows)[""] = std::move(row);
     return true;
   }
@@ -176,6 +221,9 @@ bool ExtractRows(const JsonValue& doc, const std::string& label, Rows* rows) {
       if (const JsonValue* perf = point.Find("perf")) {
         ExtractPerfMetrics(*perf, &row);
       }
+      if (const JsonValue* mem = point.Find("mem")) {
+        ExtractMemoryMetrics(*mem, &row);
+      }
       (*rows)[key.str()] = std::move(row);
     }
     return true;
@@ -213,6 +261,8 @@ const char* RowName(const std::string& key) {
 int main(int argc, char** argv) {
   double rel_tol = 0.0;
   double abs_tol = 0.0;
+  double mem_rel_tol = 0.25;
+  double mem_abs_tol = 1024.0 * 1024.0;
   bool gate_time = false;
   bool structure_only = false;
   std::string baseline_path;
@@ -225,6 +275,10 @@ int main(int argc, char** argv) {
       rel_tol = std::atof(arg + 10);
     } else if (std::strncmp(arg, "--abs-tol=", 10) == 0) {
       abs_tol = std::atof(arg + 10);
+    } else if (std::strncmp(arg, "--mem-rel-tol=", 14) == 0) {
+      mem_rel_tol = std::atof(arg + 14);
+    } else if (std::strncmp(arg, "--mem-abs-tol=", 14) == 0) {
+      mem_abs_tol = std::atof(arg + 14);
     } else if (std::strcmp(arg, "--time") == 0) {
       gate_time = true;
     } else if (std::strcmp(arg, "--structure-only") == 0) {
@@ -245,7 +299,7 @@ int main(int argc, char** argv) {
     }
   }
   if (baseline_path.empty() || current_path.empty() || rel_tol < 0.0 ||
-      abs_tol < 0.0) {
+      abs_tol < 0.0 || mem_rel_tol < 0.0 || mem_abs_tol < 0.0) {
     Usage();
     return 2;
   }
@@ -336,13 +390,17 @@ int main(int argc, char** argv) {
         const double rel =
             base_value > 0.0 ? harm / base_value
                              : std::numeric_limits<double>::infinity();
-        if (harm > abs_tol && rel > rel_tol) {
+        // Bytes-class metrics jitter with the allocator and the host, so
+        // they gate under their own (wider) tolerance pair.
+        const double use_rel = IsBytesMetric(name) ? mem_rel_tol : rel_tol;
+        const double use_abs = IsBytesMetric(name) ? mem_abs_tol : abs_tol;
+        if (harm > use_abs && rel > use_rel) {
           std::fprintf(stderr,
                        "REGRESSION: %s: %s %g -> %g (%s%.2f%%, rel-tol "
                        "%.2f%%, abs-tol %g)\n",
                        RowName(key), name.c_str(), base_value, cur_value,
                        IsHigherBetter(name) ? "-" : "+", 100.0 * rel,
-                       100.0 * rel_tol, abs_tol);
+                       100.0 * use_rel, use_abs);
           ++regressions;
         }
       }

@@ -7,7 +7,7 @@
 //              [--checkpoint=PATH] [--checkpoint-every=N] [--resume=PATH]
 //              [--max-items=N] [-q] [--stats[=text|json]]
 //              [--stats-out=PATH] [--trace-out=PATH] [--perf-counters]
-//              [--profile[=PATH]] [--sample-every=MS]
+//              [--mem-stats] [--profile[=PATH]] [--sample-every=MS]
 //              [--sample-out=PATH] [input [output]]
 //
 //   -s N        minimum support of every snapshot query (default: 2)
@@ -49,6 +49,12 @@
 //               report (implies --stats; degrades to an explicit
 //               unavailable reason + rusage fallback where the kernel
 //               denies the PMU)
+//   --mem-stats
+//               collect the per-structure memory breakdown (live tree,
+//               sealed segments, pending run) and add the `memory`
+//               section to the stats report (implies --stats); with
+//               --sample-every the sampler's JSONL lines additionally
+//               carry a live "mem" object
 //   --profile[=PATH]
 //               sampling self-profiler: fim-prof-v1 collapsed stacks to
 //               stderr or PATH (flamegraph.pl-compatible)
@@ -97,7 +103,7 @@ void Usage() {
       "[--query-every=N] [--checkpoint=PATH] [--checkpoint-every=N] "
       "[--resume=PATH] [--max-items=N] [-q] [--stats[=text|json]] "
       "[--stats-out=PATH] [--trace-out=PATH] [--perf-counters] "
-      "[--profile[=PATH]] [--sample-every=MS] "
+      "[--mem-stats] [--profile[=PATH]] [--sample-every=MS] "
       "[--sample-out=PATH] [input [output]]\n");
 }
 
@@ -202,7 +208,8 @@ int ParseArgs(int argc, char** argv, Args* args) {
 int EmitStats(const Args& args, fim::StreamMiner& miner,
               const fim::obs::MetricRegistry& registry,
               const fim::obs::Trace* trace,
-              const fim::obs::PerfReport* perf, std::size_t num_sets,
+              const fim::obs::PerfReport* perf,
+              const fim::obs::MemoryReport* memory, std::size_t num_sets,
               double wall_seconds, double cpu_seconds) {
   fim::obs::StatsReport report;
   report.tool = "fim-stream";
@@ -217,6 +224,7 @@ int EmitStats(const Args& args, fim::StreamMiner& miner,
   report.registry = &registry;
   report.trace = trace;
   report.perf = perf;
+  report.memory = memory;
   return fim::tools::EmitStatsReport(args.obs, report);
 }
 
@@ -296,6 +304,7 @@ int main(int argc, char** argv) {
   if (args.obs.WantTrace()) timeline = std::make_unique<obs::Timeline>();
   tools::PerfSession perf_session;
   perf_session.Start(args.obs, trace, timeline.get());
+  tools::MemSession mem_session(args.obs);
 
   std::unique_ptr<StreamMiner> miner;
   if (!args.resume_path.empty()) {
@@ -347,6 +356,14 @@ int main(int argc, char** argv) {
     sampler_options.throughput_counter = "stream.transactions_ingested";
     sampler_options.lane =
         timeline != nullptr ? timeline->AddLane("sampler") : nullptr;
+    if (mem_session.breakdown() != nullptr) {
+      // Live heap timeline: each sample re-measures the miner (the walk
+      // is O(segments) under the miner's mutex, cheap at sampler cadence).
+      StreamMiner* sampled = miner.get();
+      sampler_options.accounted_bytes = [sampled]() {
+        return sampled->ApproxMemoryUsage().TotalBytes();
+      };
+    }
     sampler =
         std::make_unique<obs::MetricsSampler>(sampler_options, sample_stream);
   }
@@ -439,6 +456,10 @@ int main(int argc, char** argv) {
   // touches the timeline the profiler may still be writing to.
   if (sampler != nullptr) sampler->Stop();
   const obs::PerfReport* perf_report = perf_session.Finish();
+  if (mem_session.breakdown() != nullptr) {
+    mem_session.breakdown()->Record(miner->ApproxMemoryUsage());
+  }
+  const obs::MemoryReport* mem_report = mem_session.Finish();
 
   if (timeline != nullptr) {
     obs::TraceMeta meta;
@@ -463,7 +484,8 @@ int main(int argc, char** argv) {
   }
   if (args.obs.WantStats()) {
     if (int rc = EmitStats(args, *miner, registry, trace, perf_report,
-                           num_sets, total.Seconds(), total_cpu.Seconds());
+                           mem_report, num_sets, total.Seconds(),
+                           total_cpu.Seconds());
         rc != 0) {
       return rc;
     }

@@ -4,8 +4,8 @@
 // validating external miner implementations (FIMI-contest style).
 //
 //   fim-verify [-s minsupp] [--stats[=text|json]] [--stats-out=PATH]
-//              [--trace-out=PATH] [--perf-counters] [--profile[=PATH]]
-//              data.fimi result.txt
+//              [--trace-out=PATH] [--perf-counters] [--mem-stats]
+//              [--profile[=PATH]] data.fimi result.txt
 //   fim-verify --self-check [-s minsupp] data.fimi
 //
 // --stats emits the reference miner's execution-statistics report (see
@@ -14,9 +14,11 @@
 // event timeline as Chrome trace-event JSON. --perf-counters measures
 // hardware counters over the reference run (perf section in the stats
 // report; explicit unavailable reason + rusage fallback where the PMU is
-// denied); --profile[=PATH] runs the sampling self-profiler and writes
-// fim-prof-v1 collapsed stacks. The verdict and exit code are unaffected
-// by any of them (only an unwritable output path is an error).
+// denied); --mem-stats collects the reference run's per-structure memory
+// breakdown (memory section); --profile[=PATH] runs the sampling
+// self-profiler and writes fim-prof-v1 collapsed stacks. The verdict and
+// exit code are unaffected by any of them (only an unwritable output
+// path is an error).
 //
 // --self-check feeds the database through the library's core data
 // structures (IsTa prefix tree, Carpenter occurrence matrix and duplicate
@@ -54,7 +56,7 @@ void Usage() {
   std::fprintf(stderr,
                "usage: fim-verify [-s minsupp] [--stats[=text|json]] "
                "[--stats-out=PATH] [--trace-out=PATH] [--perf-counters] "
-               "[--profile[=PATH]] data.fimi result\n"
+               "[--mem-stats] [--profile[=PATH]] data.fimi result\n"
                "       fim-verify --self-check [-s minsupp] data.fimi\n");
 }
 
@@ -203,6 +205,8 @@ int main(int argc, char** argv) {
   perf_session.Start(obs_flags, want_stats ? &trace : nullptr,
                      timeline.get());
   options.perf_domains = perf_session.domains();
+  tools::MemSession mem_session(obs_flags);
+  options.memory = mem_session.breakdown();
   auto expected = MineClosedCollect(db.value(), options,
                                     want_stats ? &miner_stats : nullptr,
                                     want_stats ? &trace : nullptr);
@@ -214,6 +218,12 @@ int main(int argc, char** argv) {
   // Stop the measurement layer (counters + profiler) before any export
   // touches the timeline the profiler may still be writing to.
   const obs::PerfReport* perf_report = perf_session.Finish();
+  if (mem_session.breakdown() != nullptr) {
+    // The tool owns the original database; the reference miner records
+    // only what it builds itself.
+    mem_session.breakdown()->Record(db.value().ApproxMemoryUsage());
+  }
+  const obs::MemoryReport* mem_report = mem_session.Finish();
   if (timeline != nullptr) {
     obs::TraceMeta meta;
     meta.tool = "fim-verify";
@@ -235,6 +245,7 @@ int main(int argc, char** argv) {
     report.miner = miner_stats;
     report.trace = &trace;
     report.perf = perf_report;
+    report.memory = mem_report;
     if (int rc = tools::EmitStatsReport(obs_flags, report); rc != 0) {
       return rc;
     }

@@ -19,6 +19,10 @@
 //   --profile[=PATH]      sampling self-profiler: SIGPROF stacks folded
 //                         to fim-prof-v1 collapsed format (flamegraph.pl
 //                         compatible) on stderr or into PATH
+//   --mem-stats           collect the per-structure memory breakdown and
+//                         add the `memory` section to the stats report
+//                         (implies --stats; the allocation-domain table
+//                         appears only in FIM_MEM_PROFILE builds)
 //
 // Tools parse them through ObsFlags::Parse and run them through a
 // PerfSession + EmitStatsReport / EmitChromeTrace so the behaviour
@@ -69,6 +73,7 @@ struct ObsFlags {
   bool perf_counters = false;
   bool profile = false;
   std::string profile_out;  // empty = collapsed stacks to stderr
+  bool mem_stats = false;
 
   bool WantStats() const { return stats_format != StatsFormat::kNone; }
   bool WantTrace() const { return !trace_out.empty(); }
@@ -96,6 +101,10 @@ struct ObsFlags {
       perf_counters = true;
       return true;
     }
+    if (std::strcmp(arg, "--mem-stats") == 0) {
+      mem_stats = true;
+      return true;
+    }
     if (std::strcmp(arg, "--profile") == 0) {
       profile = true;
       return true;
@@ -109,11 +118,11 @@ struct ObsFlags {
   }
 
   /// Call once after the argument loop: --stats-out alone implies
-  /// --stats (text), and --perf-counters implies --stats — the perf
-  /// section needs a report to live in.
+  /// --stats (text), and --perf-counters / --mem-stats imply --stats —
+  /// their sections need a report to live in.
   void Finish() {
     if (stats_format == StatsFormat::kNone &&
-        (!stats_out.empty() || perf_counters)) {
+        (!stats_out.empty() || perf_counters || mem_stats)) {
       stats_format = StatsFormat::kText;
     }
   }
@@ -219,6 +228,38 @@ class PerfSession {
   std::unique_ptr<obs::SamplingProfiler> profiler_;
   std::string profiler_error_;
   obs::PerfReport report_;
+};
+
+/// Everything --mem-stats sets up around one measured run, shared by
+/// the tools the same way PerfSession is:
+///
+///   MemSession mem_session(flags);
+///   options.memory = mem_session.breakdown();      // nullptr w/o flag
+///   ... run ...
+///   report.memory = mem_session.Finish();          // before EmitStats
+class MemSession {
+ public:
+  explicit MemSession(const ObsFlags& flags) : enabled_(flags.mem_stats) {}
+
+  /// The collector for MinerOptions::memory and friends (nullptr
+  /// without --mem-stats — the run then skips all recording work).
+  obs::MemoryBreakdown* breakdown() {
+    return enabled_ ? &breakdown_ : nullptr;
+  }
+
+  /// Assembles the `memory` stats section (breakdown + RSS coverage +
+  /// allocation-domain snapshot). Returns nullptr without --mem-stats;
+  /// the pointer stays valid for the session's lifetime.
+  const obs::MemoryReport* Finish() {
+    if (!enabled_) return nullptr;
+    report_ = obs::BuildMemoryReport(breakdown_);
+    return &report_;
+  }
+
+ private:
+  bool enabled_;
+  obs::MemoryBreakdown breakdown_;
+  obs::MemoryReport report_;
 };
 
 /// Renders `report` in the selected format and writes it to stderr or
